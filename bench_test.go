@@ -1,0 +1,62 @@
+package gs1280_test
+
+import (
+	"testing"
+
+	"gs1280"
+)
+
+// Each benchmark regenerates one of the paper's tables or figures; run
+// `go test -bench=. -benchmem` to rebuild the full evaluation. The quick
+// flag keeps per-iteration cost bounded; `gsbench -run <id>` (no -quick)
+// produces the dense sweeps recorded in EXPERIMENTS.md.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tab, err := gs1280.Experiment(id, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s: empty table", id)
+		}
+	}
+}
+
+func BenchmarkFig01SPECfpRate(b *testing.B)          { benchExperiment(b, "fig1") }
+func BenchmarkFig04DependentLoad(b *testing.B)       { benchExperiment(b, "fig4") }
+func BenchmarkFig05StrideSweep(b *testing.B)         { benchExperiment(b, "fig5") }
+func BenchmarkFig06StreamScaling(b *testing.B)       { benchExperiment(b, "fig6") }
+func BenchmarkFig07Stream1v4(b *testing.B)           { benchExperiment(b, "fig7") }
+func BenchmarkFig08IPCfp(b *testing.B)               { benchExperiment(b, "fig8") }
+func BenchmarkFig09IPCint(b *testing.B)              { benchExperiment(b, "fig9") }
+func BenchmarkFig10UtilFp(b *testing.B)              { benchExperiment(b, "fig10") }
+func BenchmarkFig11UtilInt(b *testing.B)             { benchExperiment(b, "fig11") }
+func BenchmarkFig12RemoteLatency(b *testing.B)       { benchExperiment(b, "fig12") }
+func BenchmarkFig13LatencyMatrix(b *testing.B)       { benchExperiment(b, "fig13") }
+func BenchmarkFig14AvgLatency(b *testing.B)          { benchExperiment(b, "fig14") }
+func BenchmarkFig15LoadTest(b *testing.B)            { benchExperiment(b, "fig15") }
+func BenchmarkTab1ShuffleAnalytic(b *testing.B)      { benchExperiment(b, "tab1") }
+func BenchmarkFig18ShuffleMeasured(b *testing.B)     { benchExperiment(b, "fig18") }
+func BenchmarkFig19Fluent(b *testing.B)              { benchExperiment(b, "fig19") }
+func BenchmarkFig20FluentUtil(b *testing.B)          { benchExperiment(b, "fig20") }
+func BenchmarkFig21NASSP(b *testing.B)               { benchExperiment(b, "fig21") }
+func BenchmarkFig22SPUtil(b *testing.B)              { benchExperiment(b, "fig22") }
+func BenchmarkFig23GUPS(b *testing.B)                { benchExperiment(b, "fig23") }
+func BenchmarkFig24GUPSUtil(b *testing.B)            { benchExperiment(b, "fig24") }
+func BenchmarkFig25StripingDegradation(b *testing.B) { benchExperiment(b, "fig25") }
+func BenchmarkFig26HotSpotStriping(b *testing.B)     { benchExperiment(b, "fig26") }
+func BenchmarkFig27Xmesh(b *testing.B)               { benchExperiment(b, "fig27") }
+func BenchmarkFig28Summary(b *testing.B)             { benchExperiment(b, "fig28") }
+
+// BenchmarkSimulatorCore measures raw simulator throughput: random GUPS
+// traffic on a 16-CPU machine, reported per simulated update.
+func BenchmarkSimulatorCore(b *testing.B) {
+	m := gs1280.New(gs1280.Config{W: 4, H: 4})
+	streams := make([]gs1280.Stream, m.N())
+	for i := range streams {
+		streams[i] = gs1280.NewGUPS(0, m.TotalMemory(), b.N/m.N()+1, uint64(i+1))
+	}
+	b.ResetTimer()
+	gs1280.RunStreams(m, streams)
+}

@@ -1,0 +1,53 @@
+// Command gsbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	gsbench -list
+//	gsbench -run fig13
+//	gsbench -run all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gs1280/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids")
+	run := flag.String("run", "", "experiment id to run (or \"all\")")
+	quick := flag.Bool("quick", false, "reduced sweeps for fast runs")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	if *run == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		table, err := experiments.Run(id, *quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(table.CSV())
+		} else {
+			fmt.Println(table)
+			fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Command latmap prints the Fig 13-style latency matrix for any GS1280
+// configuration: the dependent-load latency from a source CPU to every
+// node's memory, laid out as the torus grid.
+//
+// Usage:
+//
+//	latmap [-w 4] [-h 4] [-src 0] [-shuffle]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"gs1280"
+)
+
+func main() {
+	w := flag.Int("w", 4, "torus width")
+	h := flag.Int("h", 4, "torus height")
+	src := flag.Int("src", 0, "source CPU")
+	shuffle := flag.Bool("shuffle", false, "use the shuffle re-cabling")
+	flag.Parse()
+
+	m := gs1280.New(gs1280.Config{W: *w, H: *h, Shuffle: *shuffle})
+	fmt.Printf("read latency (ns) from CPU%d on %s\n", *src, m.Topo.Name)
+	for y := 0; y < *h; y++ {
+		for x := 0; x < *w; x++ {
+			target := y**w + x
+			lat := gs1280.MeasureReadLatency(m, *src, target)
+			fmt.Printf("%6.0f", lat.Nanoseconds())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,57 @@
+// Command xmesh reproduces the paper's Xmesh performance monitor (Fig 27):
+// it runs a workload on a simulated GS1280 and prints per-CPU memory
+// controller and inter-processor link utilization as a grid, one frame per
+// sampling interval.
+//
+// Usage:
+//
+//	xmesh [-w 4] [-h 4] [-workload hotspot|gups|stream] [-frames 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gs1280"
+)
+
+func main() {
+	w := flag.Int("w", 4, "torus width")
+	h := flag.Int("h", 4, "torus height")
+	kind := flag.String("workload", "hotspot", "workload: hotspot, gups or stream")
+	frames := flag.Int("frames", 5, "number of Xmesh frames")
+	flag.Parse()
+
+	m := gs1280.New(gs1280.Config{W: *w, H: *h})
+	streams := make([]gs1280.Stream, m.N())
+	switch *kind {
+	case "hotspot":
+		for i := 1; i < m.N(); i++ {
+			streams[i] = gs1280.NewHotSpot(m.RegionBase(0), m.RegionBytes(), 1<<30, uint64(i))
+		}
+	case "gups":
+		for i := 0; i < m.N(); i++ {
+			streams[i] = gs1280.NewGUPS(0, m.TotalMemory(), 1<<30, uint64(i+1))
+		}
+	case "stream":
+		for i := 0; i < m.N(); i++ {
+			streams[i] = gs1280.NewTriad(m.RegionBase(i), 8<<20, 1<<20)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *kind)
+		os.Exit(2)
+	}
+	for i, s := range streams {
+		if s != nil {
+			m.CPU(i).Run(s, nil)
+		}
+	}
+
+	sampler := gs1280.NewSampler(m, 20*gs1280.Microsecond)
+	sampler.Schedule(*frames)
+	m.Engine().RunUntil(gs1280.Time(*frames+1) * 20 * gs1280.Microsecond)
+	for _, snap := range sampler.Snapshots {
+		fmt.Println(gs1280.Xmesh(m, snap))
+	}
+}

@@ -1,0 +1,45 @@
+package gs1280_test
+
+import (
+	"fmt"
+
+	"gs1280"
+)
+
+// The examples below are executable documentation: the simulator is fully
+// deterministic, so their outputs are exact.
+
+func ExampleMeasureReadLatency() {
+	m := gs1280.New(gs1280.Config{W: 4, H: 4})
+	fmt.Println("local: ", gs1280.MeasureReadLatency(m, 0, 0))
+	fmt.Println("1 hop: ", gs1280.MeasureReadLatency(m, 0, 4))
+	fmt.Println("4 hops:", gs1280.MeasureReadLatency(m, 0, 10))
+	// Output:
+	// local:  83ns
+	// 1 hop:  139ns
+	// 4 hops: 256ns
+}
+
+func ExampleNew_shuffle() {
+	// The §4.1 shuffle re-cabling turns the 8-CPU torus's redundant
+	// vertical cables into chords that reach the furthest column in one
+	// hop.
+	torus := gs1280.New(gs1280.Config{W: 4, H: 2})
+	shuffle := gs1280.New(gs1280.Config{W: 4, H: 2, Shuffle: true, Policy: gs1280.RouteShuffle1Hop})
+	fmt.Println("torus:  ", gs1280.MeasureReadLatency(torus, 0, 2))
+	fmt.Println("shuffle:", gs1280.MeasureReadLatency(shuffle, 0, 2))
+	// Output:
+	// torus:   185.5ns
+	// shuffle: 154ns
+}
+
+func ExampleExperiment() {
+	tab, err := gs1280.Experiment("tab1", true)
+	if err != nil {
+		panic(err)
+	}
+	// The first row is the paper's measured 8-CPU configuration.
+	fmt.Println(tab.Rows[0][0], tab.Rows[0][1], tab.Rows[0][2], tab.Rows[0][3])
+	// Output:
+	// 4x2 1.200 1.500 2.000
+}

@@ -1,0 +1,32 @@
+// GUPS with a live Xmesh view: the paper's IP-bandwidth-bound workload
+// (§5.3) on the 32-CPU machine, showing the Fig 24 effect — East/West
+// links run hotter than North/South in the 8x4 torus.
+package main
+
+import (
+	"fmt"
+
+	"gs1280"
+)
+
+func main() {
+	m := gs1280.New(gs1280.Config{W: 8, H: 4, RegionBytes: 16 << 20})
+	for i := 0; i < m.N(); i++ {
+		m.CPU(i).Run(gs1280.NewGUPS(0, m.TotalMemory(), 1<<30, uint64(i+1)), nil)
+	}
+
+	sampler := gs1280.NewSampler(m, 25*gs1280.Microsecond)
+	sampler.Schedule(3)
+	m.Engine().RunUntil(80 * gs1280.Microsecond)
+
+	var updates uint64
+	for i := 0; i < m.N(); i++ {
+		updates += m.CPU(i).Stats().Ops
+	}
+	for _, snap := range sampler.Snapshots {
+		fmt.Printf("t=%v: zbox %.0f%%, links N/S %.0f%% vs E/W %.0f%%\n",
+			snap.At, snap.AvgZbox()*100, snap.AvgNS()*100, snap.AvgEW()*100)
+	}
+	fmt.Println()
+	fmt.Println(gs1280.Xmesh(m, sampler.Snapshots[len(sampler.Snapshots)-1]))
+}

@@ -1,0 +1,37 @@
+// Quickstart: build a 16-CPU GS1280, measure the latencies the paper
+// reports in Figs 12/13, and watch the machine under a parallel workload.
+package main
+
+import (
+	"fmt"
+
+	"gs1280"
+)
+
+func main() {
+	// A 4x4 torus of EV7 nodes — the paper's 16-CPU configuration.
+	m := gs1280.New(gs1280.Config{W: 4, H: 4})
+
+	// Local dependent-load latency: the famous 83 ns.
+	fmt.Printf("local memory latency:  %v\n", gs1280.MeasureReadLatency(m, 0, 0))
+
+	// One module hop (CPU 4 is CPU 0's module partner): 139 ns.
+	fmt.Printf("module partner:        %v\n", gs1280.MeasureReadLatency(m, 0, 4))
+
+	// Worst case in a 4x4 torus (4 hops): ~250-260 ns.
+	fmt.Printf("worst case (4 hops):   %v\n", gs1280.MeasureReadLatency(m, 0, 10))
+
+	// Now load every CPU with random global updates (GUPS) and measure
+	// aggregate throughput over 100 simulated microseconds.
+	streams := make([]gs1280.Stream, m.N())
+	for i := range streams {
+		streams[i] = gs1280.NewGUPS(0, m.TotalMemory(), 1<<30, uint64(i+1))
+	}
+	interval := gs1280.RunStreamsTimed(m, streams, 20*gs1280.Microsecond, 100*gs1280.Microsecond)
+	var updates uint64
+	for i := 0; i < m.N(); i++ {
+		updates += m.CPU(i).Stats().Ops
+	}
+	fmt.Printf("GUPS on 16 CPUs:       %.0f Mupdates/s\n",
+		float64(updates)/interval.Seconds()/1e6)
+}

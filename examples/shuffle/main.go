@@ -1,0 +1,41 @@
+// Shuffle re-cabling (§4.1): run the random-read load test on the 8-CPU
+// machine wired as a standard torus and as the paper's shuffle, printing
+// the latency-vs-bandwidth curves of Fig 18.
+package main
+
+import (
+	"fmt"
+
+	"gs1280"
+)
+
+func curve(shuffle bool, policy gs1280.RoutePolicy, outstanding int) (bwMB, latNs float64) {
+	m := gs1280.New(gs1280.Config{W: 4, H: 2, Shuffle: shuffle, Policy: policy})
+	streams := make([]gs1280.Stream, m.N())
+	for i := 0; i < m.N(); i++ {
+		m.CPU(i).SetMLP(outstanding)
+		streams[i] = gs1280.NewLoadTest(i, m.N(), m.RegionBytes(), 1<<30, uint64(i+1))
+	}
+	interval := gs1280.RunStreamsTimed(m, streams,
+		20*gs1280.Microsecond, 60*gs1280.Microsecond)
+	var ops uint64
+	var lat gs1280.Time
+	for i := 0; i < m.N(); i++ {
+		st := m.CPU(i).Stats()
+		ops += st.Ops
+		lat += st.LatencySum
+	}
+	return float64(ops) * 64 / interval.Seconds() / 1e6,
+		(lat / gs1280.Time(ops)).Nanoseconds()
+}
+
+func main() {
+	fmt.Println("8-CPU load test: torus vs shuffle (Fig 18)")
+	fmt.Println("outstanding  torus MB/s  lat ns  | shuffle MB/s  lat ns")
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		tb, tl := curve(false, gs1280.RouteAdaptive, k)
+		sb, sl := curve(true, gs1280.RouteShuffle1Hop, k)
+		fmt.Printf("%11d  %10.0f  %6.0f  | %12.0f  %6.0f  (%+.0f%% bw)\n",
+			k, tb, tl, sb, sl, (sb/tb-1)*100)
+	}
+}

@@ -1,0 +1,60 @@
+// Memory striping (§6): the experiment behind Figs 25-27. Striping helps
+// exactly one traffic pattern — a hot spot — and hurts throughput
+// workloads by turning half of every CPU's local accesses into module
+// hops.
+package main
+
+import (
+	"fmt"
+
+	"gs1280"
+)
+
+// hotspot aims every CPU at CPU0's memory and reports aggregate MB/s.
+func hotspot(striped bool) float64 {
+	m := gs1280.New(gs1280.Config{W: 4, H: 4, Striped: striped})
+	streams := make([]gs1280.Stream, m.N())
+	for i := 1; i < m.N(); i++ {
+		streams[i] = gs1280.NewHotSpot(m.RegionBase(0), m.RegionBytes(), 1<<30, uint64(i))
+	}
+	interval := gs1280.RunStreamsTimed(m, streams,
+		20*gs1280.Microsecond, 60*gs1280.Microsecond)
+	var ops uint64
+	for i := 1; i < m.N(); i++ {
+		ops += m.CPU(i).Stats().Ops
+	}
+	return float64(ops) * 64 / interval.Seconds() / 1e6
+}
+
+// local runs a private pointer chase per CPU (a throughput workload) and
+// reports mean latency, which striping worsens.
+func localLatency(striped bool) gs1280.Time {
+	m := gs1280.New(gs1280.Config{W: 4, H: 4, Striped: striped})
+	streams := make([]gs1280.Stream, m.N())
+	for i := range streams {
+		streams[i] = gs1280.NewPointerChase(m.RegionBase(i), 16<<20, 64, 100000)
+	}
+	gs1280.RunStreams(m, streams)
+	var lat gs1280.Time
+	var ops uint64
+	for i := 0; i < m.N(); i++ {
+		st := m.CPU(i).Stats()
+		lat += st.LatencySum
+		ops += st.Ops
+	}
+	return lat / gs1280.Time(ops)
+}
+
+func main() {
+	fmt.Println("hot-spot traffic (all CPUs read CPU0's memory):")
+	plain, striped := hotspot(false), hotspot(true)
+	fmt.Printf("  non-striped %6.0f MB/s\n  striped     %6.0f MB/s  (%.0f%% better)\n",
+		plain, striped, (striped/plain-1)*100)
+
+	fmt.Println("\nthroughput workload (each CPU chases its own memory):")
+	pl, sl := localLatency(false), localLatency(true)
+	fmt.Printf("  non-striped %v per load\n  striped     %v per load  (%.0f%% worse)\n",
+		pl, sl, (float64(sl)/float64(pl)-1)*100)
+
+	fmt.Println("\nthe paper's conclusion: stripe only for hot-spot applications.")
+}

@@ -1,0 +1,164 @@
+// Package gs1280 is a discrete-event simulation study of the HP
+// AlphaServer GS1280 multiprocessor, reproducing "Performance Analysis of
+// the Alpha 21364-based HP GS1280 Multiprocessor" (Cvetanovic, ISCA 2003).
+//
+// The package exposes three layers:
+//
+//   - Machines: New builds a GS1280 (EV7 nodes on a 2-D adaptive torus
+//     with directory coherence and integrated RDRAM controllers);
+//     NewGS320, NewES45 and NewSC45 build the previous-generation
+//     comparison systems.
+//   - Workloads: the paper's probes (dependent-load pointer chase, STREAM
+//     triad, GUPS, the §4 load test, hot-spot traffic, application-class
+//     mixes) run on any machine via RunStreams / RunStreamsTimed.
+//   - Experiments: Experiment(id) regenerates any of the paper's tables
+//     and figures (fig1..fig28, tab1) as a formatted Table.
+//
+// A minimal session:
+//
+//	m := gs1280.New(gs1280.Config{W: 4, H: 4})
+//	lat := gs1280.MeasureReadLatency(m, 0, 10)
+//	fmt.Println(lat) // ~216ns: two hops out, two hops back
+//
+// Everything is deterministic: the same program produces identical
+// simulated timings on every run.
+package gs1280
+
+import (
+	"gs1280/internal/cpu"
+	"gs1280/internal/experiments"
+	"gs1280/internal/machine"
+	"gs1280/internal/perfmon"
+	"gs1280/internal/sim"
+	"gs1280/internal/topology"
+	"gs1280/internal/workload"
+)
+
+// Time is simulated time in picoseconds.
+type Time = sim.Time
+
+// Common duration units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+)
+
+// Config selects a GS1280's shape and policies (torus dimensions, shuffle
+// re-cabling, memory striping, NAK thresholds).
+type Config = machine.GS1280Config
+
+// Machine is a simulated GS1280.
+type Machine = machine.GS1280
+
+// Baseline is a previous-generation comparison system (ES45, SC45, GS320).
+type Baseline = machine.SMP
+
+// AnyMachine is the interface workloads run against, satisfied by both
+// Machine and Baseline.
+type AnyMachine = machine.Machine
+
+// Stream is a sequence of memory operations for one CPU.
+type Stream = cpu.Stream
+
+// Op is one memory operation of a Stream.
+type Op = cpu.Op
+
+// Table is a regenerated paper artifact.
+type Table = experiments.Table
+
+// Snapshot is a machine-wide utilization sample (the Xmesh view).
+type Snapshot = perfmon.Snapshot
+
+// Sampler periodically captures Snapshots from a Machine.
+type Sampler = perfmon.Sampler
+
+// RoutePolicy restricts shuffle-link routing (§4.1's 1-hop/2-hop schemes).
+type RoutePolicy = topology.RoutePolicy
+
+// Route policies for Config.Policy.
+const (
+	RouteAdaptive    = topology.RouteAdaptive
+	RouteShuffle1Hop = topology.RouteShuffle1Hop
+	RouteShuffle2Hop = topology.RouteShuffle2Hop
+)
+
+// New builds a GS1280 machine.
+func New(cfg Config) *Machine { return machine.NewGS1280(cfg) }
+
+// NewES45 builds the 4-CPU AlphaServer ES45 baseline.
+func NewES45() *Baseline { return machine.NewSMP(machine.ES45Config()) }
+
+// NewSC45 builds an SC45 cluster slice with n CPUs (ES45 nodes joined by
+// a Quadrics switch).
+func NewSC45(n int) *Baseline { return machine.NewSMP(machine.SC45Config(n)) }
+
+// NewGS320 builds an AlphaServer GS320 with n CPUs (1-32).
+func NewGS320(n int) *Baseline { return machine.NewSMP(machine.GS320Config(n)) }
+
+// StandardShape reports the product-line torus dimensions for a CPU count
+// (4 -> 2x2 ... 64 -> 8x8).
+func StandardShape(cpus int) (w, h int) { return machine.StandardShape(cpus) }
+
+// NewPointerChase builds an lmbench-style dependent-load probe.
+func NewPointerChase(base, dataset, stride int64, count int) Stream {
+	return workload.NewPointerChase(base, dataset, stride, count)
+}
+
+// NewTriad builds a STREAM triad kernel over three arrays at base.
+func NewTriad(base, arrayBytes int64, iterations int) Stream {
+	return workload.NewTriad(base, arrayBytes, iterations)
+}
+
+// NewGUPS builds a random global update stream.
+func NewGUPS(base, tableBytes int64, count int, seed uint64) Stream {
+	return workload.NewGUPS(base, tableBytes, count, seed)
+}
+
+// NewHotSpot builds a stream of random reads into one window.
+func NewHotSpot(base, windowBytes int64, count int, seed uint64) Stream {
+	return workload.NewHotSpot(base, windowBytes, count, seed)
+}
+
+// NewLoadTest builds the §4 load-test stream for CPU self: uniform random
+// reads of other CPUs' memory.
+func NewLoadTest(self, regions int, regionBytes int64, count int, seed uint64) Stream {
+	return workload.NewLoadTest(self, regions, regionBytes, count, seed)
+}
+
+// Mix describes an application-phase workload (see workload.Mix).
+type Mix = workload.Mix
+
+// NewMix builds an application-phase stream.
+func NewMix(m Mix, seed uint64) Stream { return workload.NewMix(m, seed) }
+
+// RunStreams starts stream i on CPU i (nil entries idle) and drives the
+// simulation until every stream completes.
+func RunStreams(m AnyMachine, streams []Stream) { workload.Run(m, streams) }
+
+// RunStreamsTimed starts the streams, warms for warmup, clears statistics,
+// then measures for measure; it returns the measured interval.
+func RunStreamsTimed(m AnyMachine, streams []Stream, warmup, measure Time) Time {
+	return workload.RunTimed(m, streams, warmup, measure)
+}
+
+// MeasureReadLatency reports CPU from's load-to-use latency to memory
+// homed at CPU to, on an otherwise idle machine with warmed RDRAM pages —
+// the methodology behind Figs 12-14.
+func MeasureReadLatency(m AnyMachine, from, to int) Time {
+	return experiments.ReadLatency(m, from, to)
+}
+
+// NewSampler attaches an Xmesh-style utilization sampler to a Machine.
+func NewSampler(m *Machine, interval Time) *Sampler { return perfmon.NewSampler(m, interval) }
+
+// Xmesh renders a snapshot as the text analogue of the paper's Xmesh
+// display (Fig 27).
+func Xmesh(m *Machine, snap Snapshot) string { return perfmon.Render(m.Topo, snap) }
+
+// Experiment regenerates a paper artifact by id ("fig1".."fig28", "tab1").
+// quick shrinks sweeps for interactive runs.
+func Experiment(id string, quick bool) (*Table, error) { return experiments.Run(id, quick) }
+
+// ExperimentIDs lists every regenerable artifact in paper order.
+func ExperimentIDs() []string { return experiments.IDs() }

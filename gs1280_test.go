@@ -1,0 +1,114 @@
+package gs1280_test
+
+import (
+	"strings"
+	"testing"
+
+	"gs1280"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	// The README's quickstart: build a 16-CPU machine, measure latencies.
+	m := gs1280.New(gs1280.Config{W: 4, H: 4})
+	local := gs1280.MeasureReadLatency(m, 0, 0)
+	if local != 83*gs1280.Nanosecond {
+		t.Fatalf("local latency = %v, want 83ns", local)
+	}
+	remote := gs1280.MeasureReadLatency(m, 0, 10)
+	if remote <= local {
+		t.Fatal("remote latency not above local")
+	}
+}
+
+func TestPublicWorkloadRun(t *testing.T) {
+	m := gs1280.New(gs1280.Config{W: 2, H: 2})
+	streams := make([]gs1280.Stream, m.N())
+	for i := range streams {
+		streams[i] = gs1280.NewGUPS(0, m.TotalMemory(), 1_000_000, uint64(i+1))
+	}
+	interval := gs1280.RunStreamsTimed(m, streams, 10*gs1280.Microsecond, 40*gs1280.Microsecond)
+	if interval != 40*gs1280.Microsecond {
+		t.Fatalf("interval = %v", interval)
+	}
+	total := uint64(0)
+	for i := 0; i < m.N(); i++ {
+		total += m.CPU(i).Stats().Ops
+	}
+	if total == 0 {
+		t.Fatal("no updates completed")
+	}
+}
+
+func TestBaselinesComparable(t *testing.T) {
+	old := gs1280.NewGS320(16)
+	gs := gs1280.New(gs1280.Config{W: 4, H: 4})
+	if r := float64(gs1280.MeasureReadLatency(old, 0, 8)) /
+		float64(gs1280.MeasureReadLatency(gs, 0, 8)); r < 2 {
+		t.Fatalf("GS320 remote/GS1280 remote = %.1f, want > 2", r)
+	}
+	es := gs1280.NewES45()
+	if es.N() != 4 {
+		t.Fatal("ES45 is a 4-CPU machine")
+	}
+	sc := gs1280.NewSC45(8)
+	if sc.N() != 8 {
+		t.Fatal("SC45 slice size wrong")
+	}
+}
+
+func TestXmeshRender(t *testing.T) {
+	m := gs1280.New(gs1280.Config{W: 4, H: 2})
+	s := gs1280.NewSampler(m, 10*gs1280.Microsecond)
+	streams := make([]gs1280.Stream, m.N())
+	for i := 1; i < m.N(); i++ {
+		streams[i] = gs1280.NewHotSpot(m.RegionBase(0), m.RegionBytes(), 1_000_000, uint64(i))
+	}
+	for i, st := range streams {
+		if st != nil {
+			m.CPU(i).Run(st, nil)
+		}
+	}
+	s.Schedule(1)
+	m.Engine().RunUntil(11 * gs1280.Microsecond)
+	out := gs1280.Xmesh(m, s.Snapshots[0])
+	if !strings.Contains(out, "hottest Zbox: CPU0") {
+		t.Fatalf("Xmesh did not locate the hot spot:\n%s", out)
+	}
+}
+
+func TestExperimentRegistryExposed(t *testing.T) {
+	ids := gs1280.ExperimentIDs()
+	if len(ids) != 26 {
+		t.Fatalf("%d experiment ids, want 26 (24 figures + table 1 + ablation)", len(ids))
+	}
+	if ids[0] != "fig1" || ids[len(ids)-1] != "ablation" {
+		t.Fatalf("unexpected ordering: %v", ids)
+	}
+	tab, err := gs1280.Experiment("tab1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("tab1 rows = %d, want 6", len(tab.Rows))
+	}
+	if _, err := gs1280.Experiment("nope", true); err == nil {
+		t.Fatal("bad id did not error")
+	}
+}
+
+func TestShuffleConfig(t *testing.T) {
+	m := gs1280.New(gs1280.Config{W: 4, H: 2, Shuffle: true, Policy: gs1280.RouteShuffle1Hop})
+	// The far node (2 columns away) is one chord hop: latency well under
+	// the 2-hop torus path.
+	far := 2 // (2,0)
+	lat := gs1280.MeasureReadLatency(m, 0, far)
+	if lat > 170*gs1280.Nanosecond {
+		t.Fatalf("chord latency = %v, want 1-hop (<170ns)", lat)
+	}
+}
+
+func TestStandardShape(t *testing.T) {
+	if w, h := gs1280.StandardShape(32); w != 8 || h != 4 {
+		t.Fatalf("32P shape = %dx%d", w, h)
+	}
+}

@@ -1,0 +1,175 @@
+package gs1280_test
+
+import (
+	"testing"
+
+	"gs1280"
+)
+
+// These integration tests drive the public API end to end, crossing every
+// substrate: workloads -> CPUs -> caches -> coherence -> network -> Zboxes
+// -> counters. They assert the paper's headline relationships rather than
+// implementation details.
+
+func TestIntegrationLatencyHierarchy(t *testing.T) {
+	// On one machine, the full latency ladder must be strictly ordered:
+	// L1 < L2 < local memory < 1 hop < 4 hops.
+	m := gs1280.New(gs1280.Config{W: 4, H: 4})
+	local := gs1280.MeasureReadLatency(m, 0, 0)
+	oneHop := gs1280.MeasureReadLatency(m, 0, 4)
+	fourHop := gs1280.MeasureReadLatency(m, 0, 10)
+	if !(local < oneHop && oneHop < fourHop) {
+		t.Fatalf("latency ladder broken: %v %v %v", local, oneHop, fourHop)
+	}
+	if fourHop > 4*local {
+		t.Fatalf("4-hop %v should stay well under 4x local %v — the paper's flat NUMA", fourHop, local)
+	}
+}
+
+func TestIntegrationStripingTradeoffEndToEnd(t *testing.T) {
+	// §6's two-sided result through the public API: striping must help a
+	// hot spot and hurt private-traffic latency, on the same machine
+	// geometry.
+	hotspot := func(striped bool) float64 {
+		m := gs1280.New(gs1280.Config{W: 4, H: 2, Striped: striped})
+		streams := make([]gs1280.Stream, m.N())
+		for i := 1; i < m.N(); i++ {
+			streams[i] = gs1280.NewHotSpot(m.RegionBase(0), m.RegionBytes(), 1<<30, uint64(i))
+		}
+		interval := gs1280.RunStreamsTimed(m, streams, 10*gs1280.Microsecond, 30*gs1280.Microsecond)
+		var ops uint64
+		for i := 1; i < m.N(); i++ {
+			ops += m.CPU(i).Stats().Ops
+		}
+		return float64(ops) / interval.Seconds()
+	}
+	if gain := hotspot(true) / hotspot(false); gain < 1.2 {
+		t.Errorf("striping hot-spot gain = %.2f, want substantial", gain)
+	}
+
+	private := func(striped bool) gs1280.Time {
+		m := gs1280.New(gs1280.Config{W: 4, H: 2, Striped: striped})
+		gs1280.RunStreams(m, []gs1280.Stream{
+			gs1280.NewPointerChase(m.RegionBase(0), 8<<20, 64, 40000),
+		})
+		return m.CPU(0).Stats().AvgLatency()
+	}
+	if loss := float64(private(true)) / float64(private(false)); loss < 1.15 {
+		t.Errorf("striping private-latency loss = %.2f, want > 1.15", loss)
+	}
+}
+
+func TestIntegrationShuffleBeatsTorusUnderLoad(t *testing.T) {
+	run := func(shuffle bool, policy gs1280.RoutePolicy) (bw float64) {
+		m := gs1280.New(gs1280.Config{W: 4, H: 2, Shuffle: shuffle, Policy: policy})
+		streams := make([]gs1280.Stream, m.N())
+		for i := 0; i < m.N(); i++ {
+			m.CPU(i).SetMLP(8)
+			streams[i] = gs1280.NewLoadTest(i, m.N(), m.RegionBytes(), 1<<30, uint64(i+1))
+		}
+		interval := gs1280.RunStreamsTimed(m, streams, 10*gs1280.Microsecond, 40*gs1280.Microsecond)
+		var ops uint64
+		for i := 0; i < m.N(); i++ {
+			ops += m.CPU(i).Stats().Ops
+		}
+		return float64(ops) * 64 / interval.Seconds()
+	}
+	torus := run(false, gs1280.RouteAdaptive)
+	shuffle := run(true, gs1280.RouteShuffle1Hop)
+	if shuffle < torus {
+		t.Fatalf("shuffle %.0f below torus %.0f under load", shuffle, torus)
+	}
+}
+
+func TestIntegrationCoherentSharingAcrossMachineSizes(t *testing.T) {
+	// A migratory line bounced between every CPU must accumulate exactly
+	// one increment per CPU regardless of machine size — coherence
+	// correctness composed with real network timing.
+	for _, n := range []int{4, 8, 16, 32} {
+		w, h := gs1280.StandardShape(n)
+		m := gs1280.New(gs1280.Config{W: w, H: h})
+		addr := m.RegionBase(n / 2)
+		next := 0
+		var bounce func()
+		bounce = func() {
+			if next >= n {
+				return
+			}
+			id := next
+			next++
+			m.CPU(id).Run(gs1280.NewGUPS(addr, 64, 1, uint64(id+1)), bounce)
+		}
+		bounce()
+		m.Engine().Run()
+		var writes uint64
+		for i := 0; i < n; i++ {
+			writes += m.CPU(i).Stats().Writes
+		}
+		if writes != uint64(n) {
+			t.Fatalf("%dP: %d writes completed, want %d", n, writes, n)
+		}
+		// The line now lives dirty at the last writer; a read from CPU 0
+		// must use the 3-hop forward path, i.e. cost more than a clean
+		// read of the same home on a fresh machine.
+		m.CPU(0).Run(gs1280.NewPointerChase(addr, 64, 64, 1), nil)
+		m.Engine().Run()
+		dirty := m.CPU(0).Stats().AvgLatency()
+		clean := gs1280.MeasureReadLatency(gs1280.New(gs1280.Config{W: w, H: h}), 0, n/2)
+		if n > 4 && dirty <= clean {
+			t.Fatalf("%dP: dirty read %v not above clean %v", n, dirty, clean)
+		}
+	}
+}
+
+func TestIntegrationDeterministicEndToEnd(t *testing.T) {
+	// Two complete machine runs with mixed workloads must agree to the
+	// picosecond.
+	run := func() (gs1280.Time, uint64) {
+		m := gs1280.New(gs1280.Config{W: 4, H: 2})
+		streams := []gs1280.Stream{
+			gs1280.NewPointerChase(m.RegionBase(0), 1<<20, 64, 5000),
+			gs1280.NewTriad(m.RegionBase(1), 1<<20, 2),
+			gs1280.NewGUPS(0, m.TotalMemory(), 5000, 7),
+			gs1280.NewHotSpot(m.RegionBase(0), m.RegionBytes(), 5000, 9),
+			gs1280.NewLoadTest(4, m.N(), m.RegionBytes(), 5000, 11),
+			nil, nil,
+			gs1280.NewMix(gs1280.Mix{
+				FootprintBase: m.RegionBase(7), FootprintBytes: 1 << 20,
+				Compute: 5 * gs1280.Nanosecond, Count: 5000,
+			}, 13),
+		}
+		gs1280.RunStreams(m, streams)
+		var ops uint64
+		for i := 0; i < m.N(); i++ {
+			ops += m.CPU(i).Stats().Ops
+		}
+		return m.Engine().Now(), ops
+	}
+	t1, o1 := run()
+	t2, o2 := run()
+	if t1 != t2 || o1 != o2 {
+		t.Fatalf("end-to-end replay diverged: (%v,%d) vs (%v,%d)", t1, o1, t2, o2)
+	}
+	if o1 != 5*5000+98304 { // 5 counted streams + triad (2 passes x 3 x 16384 lines)
+		t.Fatalf("ops = %d, want all streams complete", o1)
+	}
+}
+
+func TestIntegrationUtilizationConservation(t *testing.T) {
+	// Under pure local streaming, IP links stay idle while Zboxes work —
+	// the counters must separate the subsystems cleanly.
+	m := gs1280.New(gs1280.Config{W: 2, H: 2, RegionBytes: 32 << 20})
+	s := gs1280.NewSampler(m, 20*gs1280.Microsecond)
+	for i := 0; i < m.N(); i++ {
+		m.CPU(i).Run(gs1280.NewTriad(m.RegionBase(i), 4<<20, 1<<20), nil)
+	}
+	s.Schedule(2)
+	m.Engine().RunUntil(45 * gs1280.Microsecond)
+	snap := s.Snapshots[1]
+	if snap.AvgZbox() < 0.3 {
+		t.Errorf("local streaming shows only %.0f%% Zbox utilization", snap.AvgZbox()*100)
+	}
+	if snap.AvgLink() > 0.02 {
+		t.Errorf("local streaming leaked %.1f%% onto the IP links", snap.AvgLink()*100)
+	}
+}

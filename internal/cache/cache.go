@@ -1,0 +1,258 @@
+// Package cache implements the tag arrays of the simulated memory
+// hierarchies: the EV7's on-chip 1.75 MB 7-way L2, the previous
+// generation's off-chip 16 MB direct-mapped L2, and the 64 KB 2-way L1
+// shared by both cores. Only tags and state are modeled — the simulator
+// never stores data bytes, except the coherence layer's per-line values
+// used to verify protocol correctness.
+package cache
+
+import "fmt"
+
+// LineState tracks the coherence role of a cached line.
+type LineState uint8
+
+const (
+	// Invalid marks an empty way.
+	Invalid LineState = iota
+	// SharedClean holds a read-only copy.
+	SharedClean
+	// ExclusiveDirty holds the only copy, possibly modified; eviction
+	// must write back.
+	ExclusiveDirty
+)
+
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "invalid"
+	case SharedClean:
+		return "shared"
+	case ExclusiveDirty:
+		return "exclusive"
+	}
+	return fmt.Sprintf("LineState(%d)", int(s))
+}
+
+// Victim describes a line displaced by a fill.
+type Victim struct {
+	Addr  int64 // line-aligned address
+	Dirty bool  // requires writeback to its home
+	Value uint64
+}
+
+type way struct {
+	tag   int64 // line-aligned address, valid when state != Invalid
+	state LineState
+	lru   uint32
+	value uint64
+}
+
+// Cache is a set-associative, LRU-replacement tag array. It is not
+// goroutine-safe; the simulation is single-threaded.
+type Cache struct {
+	sets, ways int
+	lineBytes  int64
+	setMask    int64
+	lineShift  uint
+	data       []way // sets*ways, set-major
+	clock      uint32
+
+	hits, misses uint64
+}
+
+// New builds a cache of the given total size. sizeBytes must be an exact
+// multiple of ways*lineBytes and yield a power-of-two set count.
+func New(sizeBytes int64, ways int, lineBytes int64) *Cache {
+	if sizeBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	if sizeBytes%(int64(ways)*lineBytes) != 0 {
+		panic(fmt.Sprintf("cache: size %d not divisible by ways*line %d", sizeBytes, int64(ways)*lineBytes))
+	}
+	sets := sizeBytes / (int64(ways) * lineBytes)
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
+	}
+	shift := uint(0)
+	for l := lineBytes; l > 1; l >>= 1 {
+		if l&1 == 1 {
+			panic("cache: line size not a power of two")
+		}
+		shift++
+	}
+	return &Cache{
+		sets:      int(sets),
+		ways:      ways,
+		lineBytes: lineBytes,
+		setMask:   sets - 1,
+		lineShift: shift,
+		data:      make([]way, int(sets)*ways),
+	}
+}
+
+// SizeBytes reports the cache capacity.
+func (c *Cache) SizeBytes() int64 { return int64(c.sets) * int64(c.ways) * c.lineBytes }
+
+// LineBytes reports the line size.
+func (c *Cache) LineBytes() int64 { return c.lineBytes }
+
+// Align returns the line-aligned address containing addr.
+func (c *Cache) Align(addr int64) int64 { return addr &^ (c.lineBytes - 1) }
+
+func (c *Cache) set(addr int64) []way {
+	s := int((addr >> c.lineShift) & c.setMask)
+	return c.data[s*c.ways : (s+1)*c.ways]
+}
+
+// Lookup probes for addr without modifying replacement state. It reports
+// the line's state (Invalid on miss).
+func (c *Cache) Lookup(addr int64) LineState {
+	tag := c.Align(addr)
+	for i := range c.set(addr) {
+		w := &c.set(addr)[i]
+		if w.state != Invalid && w.tag == tag {
+			return w.state
+		}
+	}
+	return Invalid
+}
+
+// Access probes for addr, updating LRU and hit/miss counters. It reports
+// whether the access hit (any valid state).
+func (c *Cache) Access(addr int64) bool {
+	tag := c.Align(addr)
+	set := c.set(addr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			c.clock++
+			set[i].lru = c.clock
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Fill installs addr with the given state, returning the displaced victim
+// if a valid line had to be evicted. Filling a line that is already
+// present updates its state in place (e.g. a Shared line upgraded to
+// Exclusive by a write) and never produces a victim.
+func (c *Cache) Fill(addr int64, state LineState, value uint64) (Victim, bool) {
+	if state == Invalid {
+		panic("cache: Fill with Invalid state")
+	}
+	tag := c.Align(addr)
+	set := c.set(addr)
+	c.clock++
+	// Upgrade in place.
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			set[i].state = state
+			set[i].lru = c.clock
+			set[i].value = value
+			return Victim{}, false
+		}
+	}
+	// Prefer an invalid way; otherwise evict true-LRU.
+	victimIdx := -1
+	for i := range set {
+		if set[i].state == Invalid {
+			victimIdx = i
+			break
+		}
+	}
+	evicted := Victim{}
+	hasVictim := false
+	if victimIdx < 0 {
+		victimIdx = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lru < set[victimIdx].lru {
+				victimIdx = i
+			}
+		}
+		w := &set[victimIdx]
+		evicted = Victim{Addr: w.tag, Dirty: w.state == ExclusiveDirty, Value: w.value}
+		hasVictim = true
+	}
+	set[victimIdx] = way{tag: tag, state: state, lru: c.clock, value: value}
+	return evicted, hasVictim
+}
+
+// Invalidate removes addr if present, reporting the line's prior state and
+// value (for dirty-data forwarding on invalidation).
+func (c *Cache) Invalidate(addr int64) (LineState, uint64) {
+	tag := c.Align(addr)
+	set := c.set(addr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			prev, val := set[i].state, set[i].value
+			set[i] = way{}
+			return prev, val
+		}
+	}
+	return Invalid, 0
+}
+
+// Downgrade moves an exclusive line to shared (after the owner services a
+// read forward), reporting whether the line was present and its value.
+func (c *Cache) Downgrade(addr int64) (uint64, bool) {
+	tag := c.Align(addr)
+	set := c.set(addr)
+	for i := range set {
+		if set[i].state == ExclusiveDirty && set[i].tag == tag {
+			set[i].state = SharedClean
+			return set[i].value, true
+		}
+	}
+	return 0, false
+}
+
+// Value reports the stored value of addr, if present.
+func (c *Cache) Value(addr int64) (uint64, bool) {
+	tag := c.Align(addr)
+	set := c.set(addr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			return set[i].value, true
+		}
+	}
+	return 0, false
+}
+
+// SetValue updates the stored value of addr (the requester writing into an
+// exclusive line). It reports whether the line was present.
+func (c *Cache) SetValue(addr int64, v uint64) bool {
+	tag := c.Align(addr)
+	set := c.set(addr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			set[i].value = v
+			return true
+		}
+	}
+	return false
+}
+
+// Hits reports hit count since the last ResetStats.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses reports miss count since the last ResetStats.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// ResetStats clears hit/miss counters without touching contents.
+func (c *Cache) ResetStats() { c.hits, c.misses = 0, 0 }
+
+// Flush invalidates every line, returning all dirty victims (used at the
+// end of verification runs to account for unwritten data).
+func (c *Cache) Flush() []Victim {
+	var dirty []Victim
+	for i := range c.data {
+		w := &c.data[i]
+		if w.state == ExclusiveDirty {
+			dirty = append(dirty, Victim{Addr: w.tag, Dirty: true, Value: w.value})
+		}
+		*w = way{}
+	}
+	return dirty
+}

@@ -1,0 +1,246 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometry(t *testing.T) {
+	// The EV7 L2: 1.75 MB, 7-way, 64-byte lines -> 4096 sets.
+	c := New(1792*1024, 7, 64)
+	if c.SizeBytes() != 1792*1024 {
+		t.Fatalf("size = %d", c.SizeBytes())
+	}
+	if c.sets != 4096 {
+		t.Fatalf("sets = %d, want 4096", c.sets)
+	}
+	// The GS320 off-chip L2: 16 MB direct-mapped.
+	c = New(16*1024*1024, 1, 64)
+	if c.sets != 262144 {
+		t.Fatalf("sets = %d, want 262144", c.sets)
+	}
+}
+
+func TestInvalidGeometryPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 1, 64) },
+		func() { New(1000, 1, 64) },    // not divisible
+		func() { New(3*64*64, 1, 64) }, // 192 sets: not a power of two
+		func() { New(64*2*48, 2, 48) }, // line not power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad geometry did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := New(64*1024, 2, 64)
+	if c.Access(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	c.Fill(0x1000, SharedClean, 0)
+	if !c.Access(0x1000) {
+		t.Fatal("filled line missed")
+	}
+	if !c.Access(0x1020) {
+		t.Fatal("same line, different offset missed")
+	}
+	if c.Hits() != 2 || c.Misses() != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", c.Hits(), c.Misses())
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2-way set; three conflicting lines: the least recently used goes.
+	c := New(2*64, 2, 64) // a single set
+	a, b, d := int64(0), int64(64), int64(128)
+	c.Fill(a, SharedClean, 0)
+	c.Fill(b, SharedClean, 0)
+	c.Access(a) // b is now LRU
+	v, had := c.Fill(d, SharedClean, 0)
+	if !had || v.Addr != b {
+		t.Fatalf("victim = %+v (had %v), want addr %d", v, had, b)
+	}
+	if !c.Access(a) || !c.Access(d) || c.Access(b) {
+		t.Fatal("wrong lines resident after replacement")
+	}
+}
+
+func TestDirtyVictim(t *testing.T) {
+	c := New(2*64, 2, 64)
+	c.Fill(0, ExclusiveDirty, 42)
+	c.Fill(64, SharedClean, 0)
+	c.Access(64) // line 0 becomes LRU
+	v, had := c.Fill(128, SharedClean, 0)
+	if !had || !v.Dirty || v.Addr != 0 || v.Value != 42 {
+		t.Fatalf("dirty victim = %+v (had %v)", v, had)
+	}
+}
+
+func TestFillUpgradeInPlace(t *testing.T) {
+	c := New(2*64, 2, 64)
+	c.Fill(0, SharedClean, 7)
+	v, had := c.Fill(0, ExclusiveDirty, 8)
+	if had {
+		t.Fatalf("upgrade produced victim %+v", v)
+	}
+	if st := c.Lookup(0); st != ExclusiveDirty {
+		t.Fatalf("state = %v, want exclusive", st)
+	}
+	if val, ok := c.Value(0); !ok || val != 8 {
+		t.Fatalf("value = %d (%v), want 8", val, ok)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(64*1024, 2, 64)
+	c.Fill(0x40, ExclusiveDirty, 9)
+	st, val := c.Invalidate(0x40)
+	if st != ExclusiveDirty || val != 9 {
+		t.Fatalf("invalidate = %v/%d, want exclusive/9", st, val)
+	}
+	if c.Lookup(0x40) != Invalid {
+		t.Fatal("line still present after invalidate")
+	}
+	if st, _ := c.Invalidate(0x40); st != Invalid {
+		t.Fatal("double invalidate reported a line")
+	}
+}
+
+func TestDowngrade(t *testing.T) {
+	c := New(64*1024, 2, 64)
+	c.Fill(0x80, ExclusiveDirty, 5)
+	val, ok := c.Downgrade(0x80)
+	if !ok || val != 5 {
+		t.Fatalf("downgrade = %d/%v", val, ok)
+	}
+	if st := c.Lookup(0x80); st != SharedClean {
+		t.Fatalf("state after downgrade = %v", st)
+	}
+	if _, ok := c.Downgrade(0x80); ok {
+		t.Fatal("downgrading a shared line succeeded")
+	}
+}
+
+func TestWorkingSetFitsUntilCapacity(t *testing.T) {
+	// Touch a working set smaller than capacity twice: second pass must
+	// fully hit. This is the mechanism behind the Fig 4 latency steps.
+	c := New(64*1024, 2, 64)
+	lines := int64(64 * 1024 / 64)
+	for i := int64(0); i < lines; i++ {
+		if !c.Access(i * 64) {
+			c.Fill(i*64, SharedClean, 0)
+		}
+	}
+	c.ResetStats()
+	for i := int64(0); i < lines; i++ {
+		c.Access(i * 64)
+	}
+	if c.Misses() != 0 {
+		t.Fatalf("second pass missed %d times on resident set", c.Misses())
+	}
+	// A working set 2x capacity with LRU must miss every access.
+	c = New(64*1024, 2, 64)
+	for pass := 0; pass < 2; pass++ {
+		for i := int64(0); i < 2*lines; i++ {
+			if !c.Access(i * 64) {
+				c.Fill(i*64, SharedClean, 0)
+			}
+		}
+	}
+	if c.Hits() != 0 {
+		t.Fatalf("streaming working set produced %d hits, want 0 (LRU thrash)", c.Hits())
+	}
+}
+
+func TestSetValue(t *testing.T) {
+	c := New(64*1024, 2, 64)
+	c.Fill(0, ExclusiveDirty, 1)
+	if !c.SetValue(0, 2) {
+		t.Fatal("SetValue on resident line failed")
+	}
+	if v, _ := c.Value(0); v != 2 {
+		t.Fatalf("value = %d, want 2", v)
+	}
+	if c.SetValue(0x10000000, 3) {
+		t.Fatal("SetValue on absent line succeeded")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(64*1024, 2, 64)
+	c.Fill(0, ExclusiveDirty, 1)
+	c.Fill(64, SharedClean, 2)
+	c.Fill(128, ExclusiveDirty, 3)
+	dirty := c.Flush()
+	if len(dirty) != 2 {
+		t.Fatalf("flush returned %d dirty lines, want 2", len(dirty))
+	}
+	if c.Lookup(0) != Invalid || c.Lookup(64) != Invalid {
+		t.Fatal("lines survive flush")
+	}
+}
+
+func TestAlign(t *testing.T) {
+	c := New(64*1024, 2, 64)
+	if c.Align(0x1039) != 0x1000 {
+		t.Fatalf("align = %#x", c.Align(0x1039))
+	}
+}
+
+// Property: after any access sequence, the number of resident lines never
+// exceeds capacity, and a just-filled line is always resident.
+func TestFillAlwaysResidentProperty(t *testing.T) {
+	c := New(8*64, 2, 64)
+	f := func(addrs []uint16) bool {
+		for _, a := range addrs {
+			addr := int64(a) * 64
+			if !c.Access(addr) {
+				c.Fill(addr, SharedClean, 0)
+			}
+			if c.Lookup(addr) == Invalid {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: direct-mapped caches evict exactly the conflicting line.
+func TestDirectMappedConflict(t *testing.T) {
+	c := New(4*64, 1, 64)
+	f := func(a8, b8 uint8) bool {
+		a := int64(a8) * 64
+		b := int64(b8) * 64
+		c.Flush()
+		c.Fill(a, SharedClean, 0)
+		c.Fill(b, SharedClean, 0)
+		conflict := (a>>6)&3 == (b>>6)&3 && a != b
+		if conflict {
+			return c.Lookup(a) == Invalid && c.Lookup(b) != Invalid
+		}
+		return c.Lookup(a) != Invalid && c.Lookup(b) != Invalid
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := New(1792*1024, 7, 64)
+	for i := 0; i < b.N; i++ {
+		addr := int64(i) * 64 % (4 * 1792 * 1024)
+		if !c.Access(addr) {
+			c.Fill(addr, SharedClean, 0)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package coherence implements the GS1280's global directory protocol as
+// described in §2 of the paper: a forwarding protocol with three message
+// classes (Requests, Forwards, Responses). A requesting processor sends a
+// Request to the block's home directory; blocks held Exclusive elsewhere
+// are Forwarded to their owner, who responds directly to the requestor
+// (the "3-hop" read-dirty path whose efficiency the paper credits for
+// GS1280's parallel-workload advantage); writes to Shared blocks trigger
+// invalidates acknowledged to the requestor.
+//
+// The home directory serializes transactions per line, and a requester's
+// MAF (miss address file) blocks re-access to a line whose victim
+// writeback is still unacknowledged, which closes the victim/forward
+// races without transient-state explosion.
+package coherence
+
+import (
+	"fmt"
+
+	"gs1280/internal/topology"
+)
+
+// AddressMap places physical addresses on home nodes and controllers. The
+// address space is a concatenation of per-node regions: node n owns
+// [n*RegionBytes, (n+1)*RegionBytes). With striping enabled (§6 of the
+// paper) groups of cache lines interleave across the two CPUs of a module:
+// line k of a region maps to (own node, ctl 0), (own node, ctl 1),
+// (partner, ctl 0), (partner, ctl 1) for k mod 4 = 0..3.
+type AddressMap struct {
+	Nodes       int
+	RegionBytes int64
+	LineBytes   int64
+	Striped     bool
+	// Partner[n] is n's module partner, used only when Striped.
+	Partner []topology.NodeID
+}
+
+// NewAddressMap builds a non-striped map.
+func NewAddressMap(nodes int, regionBytes, lineBytes int64) AddressMap {
+	if nodes <= 0 || regionBytes <= 0 || lineBytes <= 0 {
+		panic("coherence: invalid address map")
+	}
+	if regionBytes%lineBytes != 0 {
+		panic("coherence: region not a multiple of the line size")
+	}
+	return AddressMap{Nodes: nodes, RegionBytes: regionBytes, LineBytes: lineBytes}
+}
+
+// NewStripedAddressMap builds a map with §6 memory striping across module
+// partners. partner must be an involution (partner[partner[n]] == n).
+func NewStripedAddressMap(nodes int, regionBytes, lineBytes int64, partner []topology.NodeID) AddressMap {
+	m := NewAddressMap(nodes, regionBytes, lineBytes)
+	if len(partner) != nodes {
+		panic("coherence: partner table size mismatch")
+	}
+	for n, p := range partner {
+		if int(p) < 0 || int(p) >= nodes || partner[p] != topology.NodeID(n) {
+			panic(fmt.Sprintf("coherence: partner table not an involution at %d", n))
+		}
+	}
+	m.Striped = true
+	m.Partner = partner
+	return m
+}
+
+// TotalBytes reports the size of the whole physical address space.
+func (m AddressMap) TotalBytes() int64 { return int64(m.Nodes) * m.RegionBytes }
+
+// RegionBase reports the first address of node n's region.
+func (m AddressMap) RegionBase(n topology.NodeID) int64 { return int64(n) * m.RegionBytes }
+
+// Home reports the home node and controller index (0 or 1) of addr.
+func (m AddressMap) Home(addr int64) (topology.NodeID, int) {
+	if addr < 0 || addr >= m.TotalBytes() {
+		panic(fmt.Sprintf("coherence: address %#x outside physical memory", addr))
+	}
+	region := topology.NodeID(addr / m.RegionBytes)
+	line := (addr % m.RegionBytes) / m.LineBytes
+	if !m.Striped {
+		return region, int(line % 2)
+	}
+	switch line % 4 {
+	case 0:
+		return region, 0
+	case 1:
+		return region, 1
+	case 2:
+		return m.Partner[region], 0
+	default:
+		return m.Partner[region], 1
+	}
+}
+
+// Align reports the line-aligned address containing addr.
+func (m AddressMap) Align(addr int64) int64 { return addr - addr%m.LineBytes }

@@ -1,0 +1,354 @@
+package coherence
+
+import (
+	"fmt"
+
+	"gs1280/internal/cache"
+	"gs1280/internal/network"
+	"gs1280/internal/sim"
+	"gs1280/internal/topology"
+	"gs1280/internal/trace"
+)
+
+// send delivers fn at dst, over the network unless src == dst.
+func (s *System) send(src, dst topology.NodeID, class network.Class, size int, fn func()) {
+	if src == dst {
+		s.eng.After(0, fn)
+		return
+	}
+	s.net.Send(&network.Packet{Src: src, Dst: dst, Class: class, Size: size, OnDeliver: fn})
+}
+
+// sendForward asks owner to service requester's read (mod=false) or
+// read-modify (mod=true) of line. The home entry stays busy until the
+// owner's writeback/transfer notification returns.
+func (s *System) sendForward(home *node, line int64, owner, requester topology.NodeID, mod bool) {
+	note := "fwd-read"
+	if mod {
+		note = "fwd-mod"
+	}
+	s.trace.Emit(trace.Forward, int(home.id), int(owner), line, note)
+	s.send(home.id, owner, network.Forward, network.CtlPacketSize, func() {
+		s.ownerForward(s.nodes[owner], line, requester, mod)
+	})
+}
+
+// ownerForward runs at the owner when a Forward arrives. If the line's
+// fill is itself still in flight, the forward waits for it.
+func (s *System) ownerForward(o *node, line int64, requester topology.NodeID, mod bool) {
+	if entry, pending := o.maf[line]; pending {
+		entry.deferredFwd = append(entry.deferredFwd, func() {
+			s.ownerForward(o, line, requester, mod)
+		})
+		return
+	}
+	s.eng.After(s.params.OwnerLatency, func() { s.serveForward(o, line, requester, mod) })
+}
+
+func (s *System) serveForward(o *node, line int64, requester topology.NodeID, mod bool) {
+	home, _ := s.amap.Home(line)
+	if !mod {
+		// Read forward: downgrade to shared, send data to the requester
+		// and a sharing writeback to the home.
+		value, retained := o.l2.Downgrade(line)
+		if !retained {
+			v, ok := o.victimBuf[line]
+			if !ok {
+				panic(fmt.Sprintf("coherence: forward to node %d for absent line %#x", o.id, line))
+			}
+			value = v
+		}
+		s.send(o.id, requester, network.Response, network.DataPacketSize, func() {
+			s.fillArrived(s.nodes[requester], line, value, cache.SharedClean, 0)
+		})
+		s.send(o.id, home, network.Response, network.DataPacketSize, func() {
+			s.shareWBArrived(s.nodes[home], line, value, o.id, requester, retained)
+		})
+		return
+	}
+	// Mod forward: yield ownership, data goes straight to the requester.
+	value := uint64(0)
+	if st, v := o.l2.Invalidate(line); st != cache.Invalid {
+		value = v
+		o.l1.Invalidate(line)
+	} else if v, ok := o.victimBuf[line]; ok {
+		value = v
+	} else {
+		panic(fmt.Sprintf("coherence: mod-forward to node %d for absent line %#x", o.id, line))
+	}
+	s.send(o.id, requester, network.Response, network.DataPacketSize, func() {
+		s.fillArrived(s.nodes[requester], line, value, cache.ExclusiveDirty, 0)
+	})
+	s.send(o.id, home, network.Response, network.CtlPacketSize, func() {
+		s.transferArrived(s.nodes[home], line, requester)
+	})
+}
+
+// shareWBArrived commits a read-forward's writeback at the home: memory is
+// updated and the directory becomes Shared by the requester (and the old
+// owner, if it kept its copy).
+func (s *System) shareWBArrived(home *node, line int64, value uint64, owner, requester topology.NodeID, retained bool) {
+	e := home.dir[line]
+	_, ctl := s.amap.Home(line)
+	home.z[ctl].Access(line, true, func(sim.Time) {
+		e.value = value
+		e.state = dirShared
+		e.sharers = 1 << uint(requester)
+		if retained {
+			e.sharers |= 1 << uint(owner)
+		}
+		s.finish(home, line, e)
+	})
+}
+
+// transferArrived commits a mod-forward at the home: ownership moves to
+// the requester without touching memory.
+func (s *System) transferArrived(home *node, line int64, newOwner topology.NodeID) {
+	e := home.dir[line]
+	e.state = dirExclusive
+	e.owner = newOwner
+	e.sharers = 0
+	s.finish(home, line, e)
+}
+
+// sendInval tells sharer to drop line; the acknowledgement goes directly
+// to the requester performing the write.
+func (s *System) sendInval(home *node, line int64, sharer, requester topology.NodeID) {
+	s.send(home.id, sharer, network.Forward, network.CtlPacketSize, func() {
+		sh := s.nodes[sharer]
+		if entry, pending := sh.maf[line]; pending {
+			// A fill in flight belongs to an older shared epoch; mark it
+			// so the filled line is dropped once its waiting loads retire.
+			entry.invalPending = true
+		}
+		// Any resident copy is dropped regardless: it predates the write.
+		sh.l2.Invalidate(line)
+		sh.l1.Invalidate(line)
+		s.send(sharer, requester, network.Response, network.CtlPacketSize, func() {
+			s.invAckArrived(s.nodes[requester], line)
+		})
+	})
+}
+
+// respond sends the home's data response with the granted state and the
+// number of invalidation acks the requester must collect.
+func (s *System) respond(home *node, line int64, requester topology.NodeID, value uint64, granted cache.LineState, acks int) {
+	s.trace.Emit(trace.Response, int(home.id), int(requester), line, granted.String())
+	s.send(home.id, requester, network.Response, network.DataPacketSize, func() {
+		s.fillArrived(s.nodes[requester], line, value, granted, acks)
+	})
+}
+
+// fillArrived records the data response in the requester's MAF.
+func (s *System) fillArrived(nd *node, line int64, value uint64, granted cache.LineState, acks int) {
+	entry, ok := nd.maf[line]
+	if !ok {
+		panic(fmt.Sprintf("coherence: fill for line %#x with no MAF entry at node %d", line, nd.id))
+	}
+	entry.dataArrived = true
+	entry.granted = granted
+	entry.value = value
+	entry.acksExpected += acks
+	s.maybeComplete(nd, entry)
+}
+
+// invAckArrived counts one invalidation acknowledgement.
+func (s *System) invAckArrived(nd *node, line int64) {
+	entry, ok := nd.maf[line]
+	if !ok {
+		panic(fmt.Sprintf("coherence: inv-ack for line %#x with no MAF entry at node %d", line, nd.id))
+	}
+	entry.acksGot++
+	s.maybeComplete(nd, entry)
+}
+
+func (s *System) maybeComplete(nd *node, entry *mafEntry) {
+	if !entry.dataArrived || entry.acksGot < entry.acksExpected {
+		return
+	}
+	s.completeFill(nd, entry)
+}
+
+// completeFill installs the granted line, retires the MAF entry, then
+// runs waiting accesses, deferred forwards and structural stalls. The
+// cache install and MAF removal happen strictly before any waiter
+// callback runs: a callback may immediately re-access the same line, and
+// it must see the filled cache, not the dying transaction.
+func (s *System) completeFill(nd *node, entry *mafEntry) {
+	line := entry.line
+	value := entry.value
+	granted := entry.granted
+	now := s.eng.Now()
+
+	// Partition waiters: stores granted exclusive apply their increments
+	// (ownership serializes them globally); stores granted only shared
+	// must upgrade in a fresh transaction.
+	var completed, retryWrites []waiter
+	for _, w := range entry.waiters {
+		if w.write && granted != cache.ExclusiveDirty {
+			retryWrites = append(retryWrites, w)
+			continue
+		}
+		if w.write {
+			value++
+		}
+		completed = append(completed, w)
+	}
+
+	// Install in the caches (unless an invalidation for the shared epoch
+	// arrived while the fill was in flight).
+	keep := !(entry.invalPending && granted == cache.SharedClean)
+	if keep {
+		if v, had := nd.l2.Fill(line, granted, value); had {
+			nd.l1.Invalidate(v.Addr)
+			if v.Dirty {
+				s.evictVictim(nd, v)
+			}
+		}
+		nd.l1.Fill(line, cache.SharedClean, 0)
+	}
+
+	deferred := entry.deferredFwd
+	delete(nd.maf, line)
+
+	if len(retryWrites) > 0 {
+		upgrade := &mafEntry{line: line, write: true, waiters: retryWrites}
+		nd.maf[line] = upgrade
+		// Deferred forwards now target the shared copy we hold; serve
+		// them against the new transaction's MAF like fresh arrivals.
+		upgrade.deferredFwd = deferred
+		deferred = nil
+		s.eng.After(s.params.CoreOverhead, func() { s.sendRequest(nd, line, true) })
+	}
+
+	for _, w := range completed {
+		s.recordMiss(nd, now-w.start)
+		w.done(now - w.start)
+	}
+
+	for _, fwd := range deferred {
+		s.eng.After(0, fwd)
+	}
+
+	s.releaseStalled(nd)
+}
+
+func (s *System) recordMiss(nd *node, lat sim.Time) {
+	nd.stats.MissLatencySum += lat
+	nd.stats.MissLatencyCount++
+}
+
+// evictVictim sends a dirty line back to its home and holds the data in
+// the victim buffer until the home acknowledges; accesses to the line
+// stall until then (closing the victim/forward race).
+func (s *System) evictVictim(nd *node, v cache.Victim) {
+	nd.stats.VictimsSent++
+	nd.victimBuf[v.Addr] = v.Value
+	home, _ := s.amap.Home(v.Addr)
+	s.trace.Emit(trace.Victim, int(nd.id), int(home), v.Addr, "writeback")
+	msg := homeMsg{kind: msgVictim, from: nd.id, value: v.Value}
+	if home == nd.id {
+		s.eng.After(0, func() { s.homeReceive(nd, v.Addr, msg) })
+		return
+	}
+	s.net.Send(&network.Packet{
+		Src: nd.id, Dst: home, Class: network.Request, Size: network.DataPacketSize,
+		OnDeliver: func() { s.homeReceive(s.nodes[home], v.Addr, msg) },
+	})
+}
+
+func (s *System) sendVictimAck(home *node, line int64, to topology.NodeID) {
+	s.send(home.id, to, network.Response, network.CtlPacketSize, func() {
+		s.victimAckArrived(s.nodes[to], line)
+	})
+}
+
+func (s *System) victimAckArrived(nd *node, line int64) {
+	if _, ok := nd.victimBuf[line]; !ok {
+		panic(fmt.Sprintf("coherence: victim ack for line %#x with no victim at node %d", line, nd.id))
+	}
+	delete(nd.victimBuf, line)
+	waiters := nd.victimWaiters[line]
+	delete(nd.victimWaiters, line)
+	for _, op := range waiters {
+		op := op
+		s.eng.After(0, func() { s.tryAccess(nd, op.addr, op.write, op.start, op.done) })
+	}
+}
+
+// releaseStalled admits operations parked on a full MAF.
+func (s *System) releaseStalled(nd *node) {
+	for len(nd.mafStalled) > 0 && len(nd.maf) < s.params.MAFEntries {
+		op := nd.mafStalled[0]
+		nd.mafStalled = nd.mafStalled[1:]
+		s.tryAccess(nd, op.addr, op.write, op.start, op.done)
+	}
+}
+
+// LineValue resolves the current architectural value of line, looking
+// through the directory to the owner's cache when the line is dirty
+// remotely. It must only be called on a quiesced system (no events
+// pending); property tests use it to prove no update was lost.
+func (s *System) LineValue(line int64) uint64 {
+	line = s.amap.Align(line)
+	home, _ := s.amap.Home(line)
+	e := s.nodes[home].dir[line]
+	if e == nil {
+		return 0
+	}
+	if e.busy || len(e.queue) > 0 {
+		panic(fmt.Sprintf("coherence: LineValue on busy line %#x", line))
+	}
+	if e.state != dirExclusive {
+		return e.value
+	}
+	owner := s.nodes[e.owner]
+	if v, ok := owner.l2.Value(line); ok {
+		return v
+	}
+	if v, ok := owner.victimBuf[line]; ok {
+		return v
+	}
+	panic(fmt.Sprintf("coherence: owner %d holds no data for line %#x", e.owner, line))
+}
+
+// CheckInvariants validates directory/cache agreement on a quiesced
+// system: every Exclusive line has exactly one holder, Shared lines are
+// never dirty anywhere, and no MAF or victim entries remain.
+func (s *System) CheckInvariants() error {
+	for _, nd := range s.nodes {
+		if len(nd.maf) != 0 {
+			return fmt.Errorf("node %d has %d live MAF entries", nd.id, len(nd.maf))
+		}
+		if len(nd.victimBuf) != 0 {
+			return fmt.Errorf("node %d has %d unacked victims", nd.id, len(nd.victimBuf))
+		}
+		if len(nd.mafStalled) != 0 {
+			return fmt.Errorf("node %d has %d stalled ops", nd.id, len(nd.mafStalled))
+		}
+	}
+	for _, home := range s.nodes {
+		for line, e := range home.dir {
+			if e.busy || len(e.queue) > 0 {
+				return fmt.Errorf("line %#x busy at quiesce", line)
+			}
+			for _, nd := range s.nodes {
+				st := nd.l2.Lookup(line)
+				switch e.state {
+				case dirExclusive:
+					if st != cache.Invalid && nd.id != e.owner {
+						return fmt.Errorf("line %#x exclusive at %d but cached %v at %d", line, e.owner, st, nd.id)
+					}
+					if nd.id == e.owner && st != cache.ExclusiveDirty {
+						return fmt.Errorf("line %#x owner %d holds state %v", line, e.owner, st)
+					}
+				default:
+					if st == cache.ExclusiveDirty {
+						return fmt.Errorf("line %#x state %d but dirty at node %d", line, e.state, nd.id)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,463 @@
+package coherence
+
+import (
+	"fmt"
+
+	"gs1280/internal/cache"
+	"gs1280/internal/memctrl"
+	"gs1280/internal/network"
+	"gs1280/internal/sim"
+	"gs1280/internal/topology"
+	"gs1280/internal/trace"
+)
+
+// Params holds the node-side timing and structure of the protocol engine.
+type Params struct {
+	// L1Latency is the L1 load-to-use time (3 cycles on the EV7 core).
+	L1Latency sim.Time
+	// L2Latency is the on-chip L2 load-to-use time (12 cycles = 10.4 ns,
+	// §2 of the paper).
+	L2Latency sim.Time
+	// CoreOverhead is the L2-miss-detection + MAF allocation time; with
+	// the 60 ns open-page Zbox access it forms the 83 ns local latency.
+	CoreOverhead sim.Time
+	// OwnerLatency is the cache lookup at an owner servicing a Forward.
+	OwnerLatency sim.Time
+	// MAFEntries bounds outstanding misses per node (the EV7 keeps 16
+	// victim/miss buffers).
+	MAFEntries int
+	// NAKThreshold, when positive, makes a home controller reject
+	// requests to a line whose transaction queue is this deep; the
+	// requester retries after RetryBackoff. Zero disables.
+	NAKThreshold int
+	// RetryBackoff is the delay before a NAKed request is resent.
+	RetryBackoff sim.Time
+
+	// Cache geometry.
+	L1Bytes, L2Bytes int64
+	L1Ways, L2Ways   int
+	LineBytes        int64
+}
+
+// DefaultParams returns the GS1280 node calibration (1.15 GHz EV7).
+func DefaultParams() Params {
+	return Params{
+		L1Latency:    2600 * sim.Picosecond,  // 3 cycles
+		L2Latency:    10400 * sim.Picosecond, // 12 cycles
+		CoreOverhead: 23 * sim.Nanosecond,
+		OwnerLatency: 12 * sim.Nanosecond,
+		MAFEntries:   16,
+		RetryBackoff: 120 * sim.Nanosecond,
+		L1Bytes:      64 * 1024,
+		L1Ways:       2,
+		L2Bytes:      1792 * 1024, // 1.75 MB, 7-way
+		L2Ways:       7,
+		LineBytes:    64,
+	}
+}
+
+// dirState is the home directory state of a line.
+type dirState uint8
+
+const (
+	dirIdle dirState = iota
+	dirShared
+	dirExclusive
+)
+
+type homeMsgKind uint8
+
+const (
+	msgRead homeMsgKind = iota
+	msgReadMod
+	msgVictim
+)
+
+type homeMsg struct {
+	kind  homeMsgKind
+	from  topology.NodeID
+	value uint64 // victim data
+}
+
+type dirEntry struct {
+	state   dirState
+	owner   topology.NodeID
+	sharers uint64
+	value   uint64
+	busy    bool
+	queue   []homeMsg
+}
+
+type waiter struct {
+	write bool
+	start sim.Time
+	done  func(lat sim.Time)
+}
+
+type mafEntry struct {
+	line         int64
+	write        bool
+	waiters      []waiter
+	deferredFwd  []func()
+	invalPending bool
+	acksExpected int
+	acksGot      int
+	dataArrived  bool
+	granted      cache.LineState
+	value        uint64
+}
+
+type stalledOp struct {
+	addr  int64
+	write bool
+	start sim.Time
+	done  func(lat sim.Time)
+}
+
+// NodeStats aggregates per-node protocol counters.
+type NodeStats struct {
+	Loads, Stores         uint64
+	L1Hits, L2Hits        uint64
+	Misses                uint64
+	ReadDirty             uint64
+	NAKs, Retries         uint64
+	MissLatencySum        sim.Time
+	MissLatencyCount      uint64
+	VictimsSent, Upgrades uint64
+}
+
+// node is the protocol engine of one EV7: caches, MAF, two Zboxes and the
+// directory for lines homed here.
+type node struct {
+	sys *System
+	id  topology.NodeID
+	l1  *cache.Cache
+	l2  *cache.Cache
+	z   [2]*memctrl.Controller
+
+	dir           map[int64]*dirEntry
+	maf           map[int64]*mafEntry
+	mafStalled    []stalledOp
+	victimBuf     map[int64]uint64
+	victimWaiters map[int64][]stalledOp
+
+	stats NodeStats
+}
+
+// System is the coherence fabric of a GS1280 machine: one protocol engine
+// per node, connected by the torus network.
+type System struct {
+	eng    *sim.Engine
+	net    *network.Network
+	amap   AddressMap
+	params Params
+	nodes  []*node
+	trace  *trace.Buffer
+}
+
+// SetTrace attaches a trace buffer; protocol transactions are recorded
+// while it is enabled. Pass nil to detach.
+func (s *System) SetTrace(b *trace.Buffer) { s.trace = b }
+
+// NewSystem builds protocol engines for every node of net's topology.
+// zboxParams configures each node's two memory controllers.
+func NewSystem(eng *sim.Engine, net *network.Network, amap AddressMap, params Params, zboxParams memctrl.Params) *System {
+	n := net.Topology().N()
+	if n != amap.Nodes {
+		panic("coherence: address map node count mismatch")
+	}
+	if n > 64 {
+		panic("coherence: protocol supports at most 64 nodes (sharer bitmask)")
+	}
+	if params.MAFEntries < 1 {
+		panic("coherence: need at least one MAF entry")
+	}
+	s := &System{eng: eng, net: net, amap: amap, params: params}
+	s.nodes = make([]*node, n)
+	for i := range s.nodes {
+		s.nodes[i] = &node{
+			sys:           s,
+			id:            topology.NodeID(i),
+			l1:            cache.New(params.L1Bytes, params.L1Ways, params.LineBytes),
+			l2:            cache.New(params.L2Bytes, params.L2Ways, params.LineBytes),
+			dir:           make(map[int64]*dirEntry),
+			maf:           make(map[int64]*mafEntry),
+			victimBuf:     make(map[int64]uint64),
+			victimWaiters: make(map[int64][]stalledOp),
+		}
+		s.nodes[i].z[0] = memctrl.New(eng, zboxParams)
+		s.nodes[i].z[1] = memctrl.New(eng, zboxParams)
+	}
+	return s
+}
+
+// AddressMap reports the system's address layout.
+func (s *System) AddressMap() AddressMap { return s.amap }
+
+// Params reports the node configuration.
+func (s *System) Params() Params { return s.params }
+
+// Stats reports a copy of node n's counters.
+func (s *System) Stats(n topology.NodeID) NodeStats { return s.nodes[n].stats }
+
+// ZboxUtilization reports the mean data-bus utilization of node n's two
+// memory controllers — the per-CPU quantity Xmesh displays.
+func (s *System) ZboxUtilization(n topology.NodeID) float64 {
+	nd := s.nodes[n]
+	return (nd.z[0].Utilization() + nd.z[1].Utilization()) / 2
+}
+
+// Zbox exposes controller ctl of node n for fine-grained inspection.
+func (s *System) Zbox(n topology.NodeID, ctl int) *memctrl.Controller { return s.nodes[n].z[ctl] }
+
+// ResetStats clears per-node counters and Zbox intervals (the network has
+// its own ResetStats).
+func (s *System) ResetStats() {
+	for _, nd := range s.nodes {
+		nd.stats = NodeStats{}
+		nd.z[0].ResetStats()
+		nd.z[1].ResetStats()
+		nd.l1.ResetStats()
+		nd.l2.ResetStats()
+	}
+}
+
+// Access performs one load (write=false) or store (write=true) of the line
+// containing addr from node id. done receives the load-to-use latency.
+// Stores use read-modify-write semantics: the line's 64-bit value is
+// incremented, which lets tests verify that no update is ever lost.
+func (s *System) Access(id topology.NodeID, addr int64, write bool, done func(lat sim.Time)) {
+	nd := s.nodes[id]
+	if write {
+		nd.stats.Stores++
+	} else {
+		nd.stats.Loads++
+	}
+	s.tryAccess(nd, addr, write, s.eng.Now(), done)
+}
+
+// tryAccess walks the cache hierarchy; it is re-entered when stalled
+// operations (MAF-full, victim-pending) are released.
+func (s *System) tryAccess(nd *node, addr int64, write bool, start sim.Time, done func(lat sim.Time)) {
+	line := s.amap.Align(addr)
+	if !write && nd.l1.Access(addr) {
+		nd.stats.L1Hits++
+		s.complete(nd, start, s.params.L1Latency, done)
+		return
+	}
+	if nd.l2.Access(addr) {
+		st := nd.l2.Lookup(line)
+		if !write {
+			nd.stats.L2Hits++
+			nd.l1.Fill(line, cache.SharedClean, 0)
+			s.complete(nd, start, s.params.L2Latency, done)
+			return
+		}
+		if st == cache.ExclusiveDirty {
+			nd.stats.L2Hits++
+			v, _ := nd.l2.Value(line)
+			nd.l2.SetValue(line, v+1)
+			s.complete(nd, start, s.params.L2Latency, done)
+			return
+		}
+		// Shared line written: upgrade required, fall through to miss path.
+		nd.stats.Upgrades++
+	}
+	nd.stats.Misses++
+	s.startMiss(nd, line, write, start, done)
+}
+
+func (s *System) complete(nd *node, start, lat sim.Time, done func(sim.Time)) {
+	end := s.eng.Now() + lat
+	s.eng.At(end, func() { done(end - start) })
+}
+
+// startMiss allocates (or joins) a MAF entry for line and issues the
+// coherence transaction.
+func (s *System) startMiss(nd *node, line int64, write bool, start sim.Time, done func(sim.Time)) {
+	// A line with an unacknowledged victim writeback may not be
+	// re-requested; park the access until the VictimAck arrives.
+	if _, pending := nd.victimBuf[line]; pending {
+		nd.victimWaiters[line] = append(nd.victimWaiters[line], stalledOp{line, write, start, done})
+		return
+	}
+	if entry, ok := nd.maf[line]; ok {
+		entry.waiters = append(entry.waiters, waiter{write: write, start: start, done: done})
+		return
+	}
+	if len(nd.maf) >= s.params.MAFEntries {
+		nd.mafStalled = append(nd.mafStalled, stalledOp{line, write, start, done})
+		return
+	}
+	entry := &mafEntry{line: line, write: write}
+	entry.waiters = append(entry.waiters, waiter{write: write, start: start, done: done})
+	nd.maf[line] = entry
+	s.eng.After(s.params.CoreOverhead, func() { s.sendRequest(nd, line, write) })
+}
+
+// sendRequest transmits the Read/ReadMod request to the line's home.
+func (s *System) sendRequest(nd *node, line int64, write bool) {
+	home, _ := s.amap.Home(line)
+	kind := msgRead
+	if write {
+		kind = msgReadMod
+	}
+	note := "read"
+	if write {
+		note = "readmod"
+	}
+	s.trace.Emit(trace.Request, int(nd.id), int(home), line, note)
+	msg := homeMsg{kind: kind, from: nd.id}
+	if home == nd.id {
+		s.eng.After(0, func() { s.homeReceive(s.nodes[home], line, msg) })
+		return
+	}
+	s.net.Send(&network.Packet{
+		Src: nd.id, Dst: home, Class: network.Request, Size: network.CtlPacketSize,
+		OnDeliver: func() { s.homeReceive(s.nodes[home], line, msg) },
+	})
+}
+
+// homeReceive is the arrival point for requests and victims at a home.
+func (s *System) homeReceive(home *node, line int64, msg homeMsg) {
+	e := home.dir[line]
+	if e == nil {
+		e = &dirEntry{}
+		home.dir[line] = e
+	}
+	if e.busy {
+		if msg.kind != msgVictim && s.params.NAKThreshold > 0 && len(e.queue) >= s.params.NAKThreshold {
+			home.stats.NAKs++
+			s.trace.Emit(trace.NAK, int(home.id), int(msg.from), line, "busy")
+			s.sendNAK(home, line, msg)
+			return
+		}
+		e.queue = append(e.queue, msg)
+		return
+	}
+	s.dispatch(home, line, e, msg)
+}
+
+// sendNAK bounces an over-queued request back to the requester, which
+// retries after a backoff. This is what bends the Fig 15 load-test curve
+// backward past saturation when enabled.
+func (s *System) sendNAK(home *node, line int64, msg homeMsg) {
+	requester := s.nodes[msg.from]
+	retry := func() {
+		requester.stats.Retries++
+		s.eng.After(s.params.RetryBackoff, func() {
+			s.sendRequest(requester, line, msg.kind == msgReadMod)
+		})
+	}
+	if home.id == msg.from {
+		s.eng.After(0, retry)
+		return
+	}
+	s.net.Send(&network.Packet{
+		Src: home.id, Dst: msg.from, Class: network.Response, Size: network.CtlPacketSize,
+		OnDeliver: retry,
+	})
+}
+
+// dispatch begins processing one transaction; the entry is marked busy
+// until the transaction's home-side work completes.
+func (s *System) dispatch(home *node, line int64, e *dirEntry, msg homeMsg) {
+	e.busy = true
+	if msg.kind == msgVictim {
+		s.processVictim(home, line, e, msg)
+		return
+	}
+	// Every request reads the directory (kept in RDRAM ECC on the EV7)
+	// and, usually, the data: one Zbox access.
+	_, ctl := s.amap.Home(line)
+	home.z[ctl].Access(line, false, func(sim.Time) {
+		s.processRequest(home, line, e, msg)
+	})
+}
+
+func (s *System) processRequest(home *node, line int64, e *dirEntry, msg homeMsg) {
+	from := msg.from
+	switch {
+	case msg.kind == msgRead && e.state != dirExclusive:
+		e.state = dirShared
+		e.sharers |= 1 << uint(from)
+		s.respond(home, line, from, e.value, cache.SharedClean, 0)
+		s.finish(home, line, e)
+
+	case msg.kind == msgRead: // Exclusive elsewhere: 3-hop read-dirty.
+		if e.owner == from {
+			panic(fmt.Sprintf("coherence: node %d re-requested owned line %#x", from, line))
+		}
+		home.stats.ReadDirty++
+		s.sendForward(home, line, e.owner, from, false)
+
+	case e.state == dirIdle:
+		e.state = dirExclusive
+		e.owner = from
+		e.sharers = 0
+		s.respond(home, line, from, e.value, cache.ExclusiveDirty, 0)
+		s.finish(home, line, e)
+
+	case e.state == dirShared:
+		acks := 0
+		for sh := e.sharers; sh != 0; sh &= sh - 1 {
+			target := topology.NodeID(trailingZeros(sh))
+			if target == from {
+				continue
+			}
+			acks++
+			s.sendInval(home, line, target, from)
+		}
+		e.state = dirExclusive
+		e.owner = from
+		e.sharers = 0
+		s.respond(home, line, from, e.value, cache.ExclusiveDirty, acks)
+		s.finish(home, line, e)
+
+	default: // ReadMod on Exclusive: forward-mod, 3-hop dirty transfer.
+		if e.owner == from {
+			panic(fmt.Sprintf("coherence: node %d upgrade-requested owned line %#x", from, line))
+		}
+		home.stats.ReadDirty++
+		s.sendForward(home, line, e.owner, from, true)
+	}
+}
+
+// finish completes the home-side transaction and drains the queue.
+func (s *System) finish(home *node, line int64, e *dirEntry) {
+	e.busy = false
+	if len(e.queue) == 0 {
+		return
+	}
+	msg := e.queue[0]
+	e.queue = e.queue[1:]
+	s.dispatch(home, line, e, msg)
+}
+
+// processVictim applies an owner writeback. A victim from a node that is
+// no longer the owner is stale (its data already reached memory through a
+// ShareWB); it is acknowledged without a memory write.
+func (s *System) processVictim(home *node, line int64, e *dirEntry, msg homeMsg) {
+	if e.state == dirExclusive && e.owner == msg.from {
+		_, ctl := s.amap.Home(line)
+		home.z[ctl].Access(line, true, func(sim.Time) {
+			e.value = msg.value
+			e.state = dirIdle
+			e.sharers = 0
+			s.sendVictimAck(home, line, msg.from)
+			s.finish(home, line, e)
+		})
+		return
+	}
+	s.sendVictimAck(home, line, msg.from)
+	s.finish(home, line, e)
+}
+
+func trailingZeros(v uint64) int {
+	n := 0
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,175 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gs1280/internal/memctrl"
+	"gs1280/internal/network"
+	"gs1280/internal/sim"
+	"gs1280/internal/topology"
+)
+
+// runRandomOps drives the protocol with a random mixed workload over a
+// small line pool (maximizing conflicts) and returns the system quiesced.
+func runRandomOps(t *testing.T, seed uint64, nodes, ops, lines int, smallCaches bool) (*System, int) {
+	t.Helper()
+	w, h := 4, nodes/4
+	eng := sim.NewEngine()
+	topo := topology.NewTorus(w, h)
+	net := network.New(eng, topo, network.DefaultParams())
+	params := DefaultParams()
+	if smallCaches {
+		params.L1Bytes, params.L1Ways = 2*64, 2
+		params.L2Bytes, params.L2Ways = 4*64, 2
+		params.MAFEntries = 4
+	}
+	amap := NewAddressMap(topo.N(), 1<<20, params.LineBytes)
+	s := NewSystem(eng, net, amap, params, memctrl.DefaultParams())
+
+	rng := sim.NewRNG(seed)
+	writes := 0
+	completed := 0
+	for i := 0; i < ops; i++ {
+		node := topology.NodeID(rng.Intn(nodes))
+		line := int64(rng.Intn(lines)) * 64
+		write := rng.Intn(2) == 0
+		if write {
+			writes++
+		}
+		// Issue in staggered bursts so transactions overlap heavily.
+		delay := sim.Time(rng.Intn(2000)) * sim.Nanosecond
+		eng.After(delay, func() {
+			s.Access(node, line, write, func(sim.Time) { completed++ })
+		})
+	}
+	eng.Run()
+	if completed != ops {
+		t.Fatalf("completed %d/%d ops", completed, ops)
+	}
+	return s, writes
+}
+
+// TestNoLostUpdatesUnderContention is the central protocol property test:
+// with stores implemented as serialized increments, the sum of final line
+// values must equal the number of stores — any coherence bug that loses a
+// writeback, misorders an ownership transfer, or double-applies a store
+// breaks the equality.
+func TestNoLostUpdatesUnderContention(t *testing.T) {
+	for _, cfg := range []struct {
+		seed        uint64
+		nodes, ops  int
+		lines       int
+		smallCaches bool
+	}{
+		{1, 16, 3000, 8, true},    // extreme conflicts, constant eviction
+		{2, 16, 3000, 64, true},   // conflicts plus capacity churn
+		{3, 16, 2000, 512, false}, // realistic caches
+		{4, 8, 2000, 4, true},     // hammering four lines from 8 nodes
+	} {
+		s, writes := runRandomOps(t, cfg.seed, cfg.nodes, cfg.ops, cfg.lines, cfg.smallCaches)
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: %v", cfg.seed, err)
+		}
+		var sum uint64
+		for l := 0; l < cfg.lines; l++ {
+			sum += s.LineValue(int64(l) * 64)
+		}
+		if sum != uint64(writes) {
+			t.Fatalf("seed %d: value sum %d != stores %d (lost or duplicated updates)",
+				cfg.seed, sum, writes)
+		}
+	}
+}
+
+// Property-based variant: random seeds and shapes, smaller op counts.
+func TestNoLostUpdatesProperty(t *testing.T) {
+	f := func(seed uint64, linesRaw uint8) bool {
+		lines := int(linesRaw%16) + 1
+		s, writes := runRandomOps(t, seed, 8, 400, lines, true)
+		if err := s.CheckInvariants(); err != nil {
+			return false
+		}
+		var sum uint64
+		for l := 0; l < lines; l++ {
+			sum += s.LineValue(int64(l) * 64)
+		}
+		return sum == uint64(writes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterministicProtocolReplay re-runs an identical contended workload
+// and requires byte-identical simulated time and event counts.
+func TestDeterministicProtocolReplay(t *testing.T) {
+	run := func() (sim.Time, uint64) {
+		eng := sim.NewEngine()
+		topo := topology.NewTorus(4, 4)
+		net := network.New(eng, topo, network.DefaultParams())
+		amap := NewAddressMap(16, 1<<20, 64)
+		s := NewSystem(eng, net, amap, DefaultParams(), memctrl.DefaultParams())
+		rng := sim.NewRNG(42)
+		for i := 0; i < 1500; i++ {
+			node := topology.NodeID(rng.Intn(16))
+			line := int64(rng.Intn(32)) * 64
+			s.Access(node, line, rng.Intn(2) == 0, func(sim.Time) {})
+		}
+		eng.Run()
+		return eng.Now(), eng.Executed()
+	}
+	t1, e1 := run()
+	t2, e2 := run()
+	if t1 != t2 || e1 != e2 {
+		t.Fatalf("protocol replay diverged: (%v,%d) vs (%v,%d)", t1, e1, t2, e2)
+	}
+}
+
+// TestSharedReadersScaleWithoutInvalidation checks that read-only sharing
+// never generates forwards or invalidations.
+func TestSharedReadersScaleWithoutInvalidation(t *testing.T) {
+	eng, s := testSystem(4, 4, true)
+	addr := s.amap.RegionBase(7)
+	for n := 0; n < 16; n++ {
+		accessSync(t, eng, s, topology.NodeID(n), addr, false)
+	}
+	if rd := s.Stats(7).ReadDirty; rd != 0 {
+		t.Fatalf("read-only sharing produced %d dirty forwards", rd)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZboxTrafficBalancedAcrossControllers verifies that the non-striped
+// map interleaves consecutive lines across the node's two Zboxes.
+func TestZboxTrafficBalancedAcrossControllers(t *testing.T) {
+	eng, s := testSystem(4, 4, true)
+	for i := int64(0); i < 64; i++ {
+		accessSync(t, eng, s, 0, i*64, false)
+	}
+	r0 := s.Zbox(0, 0).Reads()
+	r1 := s.Zbox(0, 1).Reads()
+	if r0 != 32 || r1 != 32 {
+		t.Fatalf("controller reads = %d/%d, want 32/32", r0, r1)
+	}
+}
+
+func BenchmarkProtocolGUPSLike(b *testing.B) {
+	eng := sim.NewEngine()
+	topo := topology.NewTorus(4, 4)
+	net := network.New(eng, topo, network.DefaultParams())
+	amap := NewAddressMap(16, 1<<22, 64)
+	s := NewSystem(eng, net, amap, DefaultParams(), memctrl.DefaultParams())
+	rng := sim.NewRNG(5)
+	for i := 0; i < b.N; i++ {
+		node := topology.NodeID(rng.Intn(16))
+		addr := int64(rng.Uint64() % uint64(amap.TotalBytes()))
+		s.Access(node, addr, true, func(sim.Time) {})
+		if i%64 == 63 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}

@@ -1,0 +1,204 @@
+// Package cpu models the memory-request engine of a processor core: a
+// stream of memory operations issued with bounded memory-level parallelism
+// (the EV7 sustains up to 16 outstanding misses through its MAF), with
+// optional serial dependences (pointer chasing) and compute gaps between
+// operations (cache-blocked codes like Fluent).
+//
+// The package deliberately does not model instruction execution — the
+// paper's behavior lives in the memory system, and §3.3's IPC comparisons
+// are reproduced analytically in internal/specmodel from cache-miss traits.
+package cpu
+
+import (
+	"gs1280/internal/sim"
+)
+
+// Op is one memory operation.
+type Op struct {
+	Addr int64
+	// Write marks a store (read-modify-write in the coherence layer).
+	Write bool
+	// Dependent delays issue until every prior operation has completed —
+	// the dependent-load pattern of lmbench's latency probe.
+	Dependent bool
+	// Compute is core work charged serially before the operation issues.
+	Compute sim.Time
+}
+
+// Stream produces the operations a CPU executes. Implementations live in
+// internal/workload.
+type Stream interface {
+	// Next returns the next operation, or ok=false at end of stream.
+	Next() (op Op, ok bool)
+}
+
+// Port is the CPU's path into a machine's memory system.
+type Port interface {
+	Access(addr int64, write bool, done func(lat sim.Time))
+}
+
+// Stats aggregates a CPU's completed work.
+type Stats struct {
+	Ops        uint64
+	Reads      uint64
+	Writes     uint64
+	LatencySum sim.Time
+	StartedAt  sim.Time
+	FinishedAt sim.Time
+}
+
+// AvgLatency reports mean per-operation load-to-use latency.
+func (s Stats) AvgLatency() sim.Time {
+	if s.Ops == 0 {
+		return 0
+	}
+	return s.LatencySum / sim.Time(s.Ops)
+}
+
+// OpsPerSecond reports completed operations per simulated second.
+func (s Stats) OpsPerSecond() float64 {
+	elapsed := s.FinishedAt - s.StartedAt
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Ops) / elapsed.Seconds()
+}
+
+// CPU issues one Stream at a time against its Port.
+type CPU struct {
+	eng  *sim.Engine
+	id   int
+	mlp  int
+	port Port
+
+	stream      Stream
+	onDone      func()
+	pending     *Op
+	outstanding int
+	computing   bool
+	running     bool
+
+	stats Stats
+}
+
+// New builds a CPU with the given memory-level parallelism bound.
+func New(eng *sim.Engine, id, mlp int, port Port) *CPU {
+	if mlp < 1 {
+		panic("cpu: mlp must be at least 1")
+	}
+	if port == nil {
+		panic("cpu: nil port")
+	}
+	return &CPU{eng: eng, id: id, mlp: mlp, port: port}
+}
+
+// ID reports the CPU's index within its machine.
+func (c *CPU) ID() int { return c.id }
+
+// MLP reports the outstanding-operation bound.
+func (c *CPU) MLP() int { return c.mlp }
+
+// SetMLP adjusts the bound; the load test of Fig 15 sweeps it. It may only
+// be called while no stream is running.
+func (c *CPU) SetMLP(mlp int) {
+	if c.running {
+		panic("cpu: SetMLP while running")
+	}
+	if mlp < 1 {
+		panic("cpu: mlp must be at least 1")
+	}
+	c.mlp = mlp
+}
+
+// Stats reports a copy of the CPU's counters.
+func (c *CPU) Stats() Stats { return c.stats }
+
+// ResetStats clears counters (between warmup and measurement phases).
+func (c *CPU) ResetStats() {
+	c.stats = Stats{StartedAt: c.eng.Now(), FinishedAt: c.eng.Now()}
+}
+
+// Outstanding reports in-flight operations.
+func (c *CPU) Outstanding() int { return c.outstanding }
+
+// Running reports whether a stream is active.
+func (c *CPU) Running() bool { return c.running }
+
+// Run starts executing s; onDone (optional) fires when the stream is
+// exhausted and all operations have completed. A CPU runs one stream at a
+// time.
+func (c *CPU) Run(s Stream, onDone func()) {
+	if c.running {
+		panic("cpu: Run while already running")
+	}
+	c.stream = s
+	c.onDone = onDone
+	c.running = true
+	c.pending = nil
+	c.stats.StartedAt = c.eng.Now()
+	// Enter the issue loop from the event queue so Run composes with
+	// other same-instant setup.
+	c.eng.After(0, c.step)
+}
+
+// step issues as many operations as dependences, compute, and the MLP
+// bound allow.
+func (c *CPU) step() {
+	if !c.running || c.computing {
+		return
+	}
+	for c.outstanding < c.mlp {
+		if c.pending == nil {
+			op, ok := c.stream.Next()
+			if !ok {
+				if c.outstanding == 0 {
+					c.finish()
+				}
+				return
+			}
+			c.pending = &op
+		}
+		if c.pending.Dependent && c.outstanding > 0 {
+			return
+		}
+		if c.pending.Compute > 0 {
+			compute := c.pending.Compute
+			c.pending.Compute = 0
+			c.computing = true
+			c.eng.After(compute, func() {
+				c.computing = false
+				c.step()
+			})
+			return
+		}
+		c.issue()
+	}
+}
+
+func (c *CPU) issue() {
+	op := *c.pending
+	c.pending = nil
+	c.outstanding++
+	c.port.Access(op.Addr, op.Write, func(lat sim.Time) {
+		c.outstanding--
+		c.stats.Ops++
+		if op.Write {
+			c.stats.Writes++
+		} else {
+			c.stats.Reads++
+		}
+		c.stats.LatencySum += lat
+		c.stats.FinishedAt = c.eng.Now()
+		c.step()
+	})
+}
+
+func (c *CPU) finish() {
+	c.running = false
+	c.stats.FinishedAt = c.eng.Now()
+	if c.onDone != nil {
+		done := c.onDone
+		c.onDone = nil
+		done()
+	}
+}

@@ -1,0 +1,214 @@
+package cpu
+
+import (
+	"testing"
+
+	"gs1280/internal/sim"
+)
+
+// fixedPort completes every access after a constant latency and records
+// concurrency.
+type fixedPort struct {
+	eng         *sim.Engine
+	lat         sim.Time
+	inFlight    int
+	maxInFlight int
+	accesses    []int64
+}
+
+func (p *fixedPort) Access(addr int64, write bool, done func(sim.Time)) {
+	p.inFlight++
+	if p.inFlight > p.maxInFlight {
+		p.maxInFlight = p.inFlight
+	}
+	p.accesses = append(p.accesses, addr)
+	p.eng.After(p.lat, func() {
+		p.inFlight--
+		done(p.lat)
+	})
+}
+
+// sliceStream yields a fixed op list.
+type sliceStream struct {
+	ops []Op
+	i   int
+}
+
+func (s *sliceStream) Next() (Op, bool) {
+	if s.i >= len(s.ops) {
+		return Op{}, false
+	}
+	op := s.ops[s.i]
+	s.i++
+	return op, true
+}
+
+func TestDependentOpsSerialize(t *testing.T) {
+	eng := sim.NewEngine()
+	port := &fixedPort{eng: eng, lat: 100 * sim.Nanosecond}
+	c := New(eng, 0, 16, port)
+	ops := make([]Op, 10)
+	for i := range ops {
+		ops[i] = Op{Addr: int64(i) * 64, Dependent: true}
+	}
+	finished := false
+	c.Run(&sliceStream{ops: ops}, func() { finished = true })
+	eng.Run()
+	if !finished {
+		t.Fatal("stream did not finish")
+	}
+	if port.maxInFlight != 1 {
+		t.Fatalf("dependent ops overlapped: max in flight %d", port.maxInFlight)
+	}
+	if eng.Now() != 10*100*sim.Nanosecond {
+		t.Fatalf("end time = %v, want 1us (10 serial ops)", eng.Now())
+	}
+	if c.Stats().AvgLatency() != 100*sim.Nanosecond {
+		t.Fatalf("avg latency = %v", c.Stats().AvgLatency())
+	}
+}
+
+func TestIndependentOpsOverlapToMLP(t *testing.T) {
+	eng := sim.NewEngine()
+	port := &fixedPort{eng: eng, lat: 100 * sim.Nanosecond}
+	c := New(eng, 0, 4, port)
+	ops := make([]Op, 20)
+	for i := range ops {
+		ops[i] = Op{Addr: int64(i) * 64}
+	}
+	c.Run(&sliceStream{ops: ops}, nil)
+	eng.Run()
+	if port.maxInFlight != 4 {
+		t.Fatalf("max in flight = %d, want 4 (MLP bound)", port.maxInFlight)
+	}
+	// 20 ops, 4 at a time, 100ns each: 5 rounds.
+	if eng.Now() != 5*100*sim.Nanosecond {
+		t.Fatalf("end time = %v, want 500ns", eng.Now())
+	}
+}
+
+func TestComputeDelaysIssue(t *testing.T) {
+	eng := sim.NewEngine()
+	port := &fixedPort{eng: eng, lat: 10 * sim.Nanosecond}
+	c := New(eng, 0, 8, port)
+	ops := []Op{
+		{Addr: 0, Compute: 50 * sim.Nanosecond},
+		{Addr: 64, Compute: 50 * sim.Nanosecond},
+	}
+	c.Run(&sliceStream{ops: ops}, nil)
+	eng.Run()
+	// Compute is serial: 50 + 50 = 100ns of compute, with the second op's
+	// compute starting right after the first op issues; last op completes
+	// at >= 100 + 10.
+	if eng.Now() < 110*sim.Nanosecond {
+		t.Fatalf("end time = %v, want >= 110ns (serial compute)", eng.Now())
+	}
+	if got := c.Stats().Ops; got != 2 {
+		t.Fatalf("ops = %d, want 2", got)
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	eng := sim.NewEngine()
+	port := &fixedPort{eng: eng, lat: sim.Nanosecond}
+	c := New(eng, 3, 2, port)
+	ops := []Op{{Addr: 0}, {Addr: 64, Write: true}, {Addr: 128, Write: true}}
+	c.Run(&sliceStream{ops: ops}, nil)
+	eng.Run()
+	st := c.Stats()
+	if st.Ops != 3 || st.Reads != 1 || st.Writes != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.OpsPerSecond() <= 0 {
+		t.Fatal("ops/sec not positive")
+	}
+	if c.ID() != 3 {
+		t.Fatal("wrong id")
+	}
+}
+
+func TestRunTwiceSequentially(t *testing.T) {
+	eng := sim.NewEngine()
+	port := &fixedPort{eng: eng, lat: sim.Nanosecond}
+	c := New(eng, 0, 2, port)
+	c.Run(&sliceStream{ops: []Op{{Addr: 0}}}, nil)
+	eng.Run()
+	if c.Running() {
+		t.Fatal("still running after drain")
+	}
+	c.Run(&sliceStream{ops: []Op{{Addr: 64}}}, nil)
+	eng.Run()
+	if c.Stats().Ops != 2 {
+		t.Fatalf("ops = %d, want 2 across two runs", c.Stats().Ops)
+	}
+}
+
+func TestRunWhileRunningPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	port := &fixedPort{eng: eng, lat: sim.Nanosecond}
+	c := New(eng, 0, 2, port)
+	c.Run(&sliceStream{ops: []Op{{Addr: 0}}}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("second Run did not panic")
+		}
+	}()
+	c.Run(&sliceStream{}, nil)
+}
+
+func TestSetMLP(t *testing.T) {
+	eng := sim.NewEngine()
+	port := &fixedPort{eng: eng, lat: sim.Nanosecond}
+	c := New(eng, 0, 2, port)
+	c.SetMLP(7)
+	if c.MLP() != 7 {
+		t.Fatal("SetMLP did not apply")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SetMLP(0) did not panic")
+		}
+	}()
+	c.SetMLP(0)
+}
+
+func TestResetStats(t *testing.T) {
+	eng := sim.NewEngine()
+	port := &fixedPort{eng: eng, lat: sim.Nanosecond}
+	c := New(eng, 0, 2, port)
+	c.Run(&sliceStream{ops: []Op{{Addr: 0}}}, nil)
+	eng.Run()
+	c.ResetStats()
+	if c.Stats().Ops != 0 {
+		t.Fatal("reset did not clear ops")
+	}
+}
+
+func TestEmptyStreamFinishesImmediately(t *testing.T) {
+	eng := sim.NewEngine()
+	port := &fixedPort{eng: eng, lat: sim.Nanosecond}
+	c := New(eng, 0, 2, port)
+	finished := false
+	c.Run(&sliceStream{}, func() { finished = true })
+	eng.Run()
+	if !finished {
+		t.Fatal("empty stream did not finish")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	for _, f := range []func(){
+		func() { New(eng, 0, 0, &fixedPort{eng: eng}) },
+		func() { New(eng, 0, 1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid construction did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gs1280/internal/cpu"
+	"gs1280/internal/machine"
+	"gs1280/internal/perfmon"
+	"gs1280/internal/sim"
+	"gs1280/internal/workload"
+)
+
+// appClass builds the synthetic phase mix for one of §5's application
+// classes on machine m for CPU id.
+type appClass struct {
+	name string
+	// footprint is the cache-blocked working set; compute the per-op core
+	// work; streamBytes a large local array touched by streamFrac of ops;
+	// remoteFrac reads module neighbors (MPI halo exchange).
+	footprint  int64
+	compute    sim.Time
+	streamFrac float64
+	stream     int64
+	remoteFrac float64
+	// dependentFrac of ops are dependent loads, exposing latency.
+	dependentFrac float64
+}
+
+// fluentClass models §5.1: CPU-intensive CFD, blocked for cache reuse —
+// low memory and IP utilization. The footprint and most of the 18 MB
+// sweep array fit the previous generation's 16 MB off-chip caches but not
+// the EV7's 1.75 MB L2 — the paper's explanation for ES45 keeping pace.
+var fluentClass = appClass{
+	name:      "Fluent",
+	footprint: 2 << 20, compute: 20 * sim.Nanosecond,
+	streamFrac: 0.10, stream: 18 << 20,
+	remoteFrac: 0.01, dependentFrac: 0.30,
+}
+
+// spClass models §5.2: the NAS Parallel SP solver — memory-bandwidth
+// bound (~26% Zbox utilization in Fig 22), little IP traffic. The sweep
+// array exceeds every cache, so the old machines' shared buses saturate.
+var spClass = appClass{
+	name:      "NAS-SP",
+	footprint: 256 << 10, compute: 8 * sim.Nanosecond,
+	streamFrac: 0.50, stream: 18 << 20,
+	remoteFrac: 0.03, dependentFrac: 0.05,
+}
+
+// mixStreams builds per-CPU streams of class c on m using n CPUs.
+func mixStreams(m machine.Machine, n int, c appClass) []cpu.Stream {
+	ss := make([]cpu.Stream, m.N())
+	for i := 0; i < n; i++ {
+		base := m.RegionBase(i)
+		left := m.RegionBase((i + n - 1) % n)
+		right := m.RegionBase((i + 1) % n)
+		ss[i] = workload.NewMix(workload.Mix{
+			FootprintBase: base, FootprintBytes: c.footprint,
+			StreamBase: base + c.footprint, StreamBytes: c.stream, StreamFrac: c.streamFrac,
+			RemoteBases: []int64{left, right}, RemoteBytes: 1 << 20, RemoteFrac: c.remoteFrac,
+			Compute:       c.compute,
+			DependentFrac: c.dependentFrac,
+			Count:         1 << 30,
+		}, uint64(i*7919+13))
+	}
+	return ss
+}
+
+// warmFootprints touches every footprint line once on each CPU so the
+// measurement interval sees steady-state cache behaviour, not cold
+// misses.
+func warmFootprints(m machine.Machine, n int, c appClass) {
+	for i := 0; i < n; i++ {
+		lines := int(c.footprint / 64)
+		m.CPU(i).Run(workload.NewPointerChase(m.RegionBase(i), c.footprint, 64, lines), nil)
+	}
+	m.Engine().Run()
+	m.ResetStats()
+}
+
+// appRate runs class c on n CPUs of m and reports aggregate operations
+// per second.
+func appRate(m machine.Machine, n int, c appClass, warm, measure sim.Time) float64 {
+	warmFootprints(m, n, c)
+	interval := workload.RunTimed(m, mixStreams(m, n, c), warm, measure)
+	var ops uint64
+	for i := 0; i < n; i++ {
+		ops += m.CPU(i).Stats().Ops
+	}
+	return float64(ops) / interval.Seconds()
+}
+
+// appCounts is the CPU sweep for Figs 19/21.
+var appCounts = []int{4, 8, 16, 32}
+
+// appTable builds a Fig 19/21-style scaling comparison for class c.
+// The rating is aggregate op throughput scaled by unit.
+func appTable(id, title, unitName string, c appClass, unit float64, counts []int, warm, measure sim.Time) *Table {
+	if counts == nil {
+		counts = appCounts
+	}
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"CPUs", "GS1280 " + unitName, "SC45 " + unitName, "GS320 " + unitName},
+	}
+	for _, n := range counts {
+		w, h := machine.StandardShape(n)
+		gs := machine.NewGS1280(machine.GS1280Config{W: w, H: h, RegionBytes: 32 << 20})
+		gsRate := appRate(gs, n, c, warm, measure) / unit
+
+		// SC45: ES45 nodes over Quadrics; halo exchanges stay in-node for
+		// the four local ranks, so model one node and scale by node count
+		// with a 10% MPI efficiency haircut per doubling beyond one node.
+		es := machine.NewSMP(machine.SC45Config(4))
+		per4 := appRate(es, min4(n), c, warm, measure) / unit
+		scRate := per4
+		if n > 4 {
+			nodes := float64(n) / 4
+			eff := 1.0
+			for x := nodes; x > 1; x /= 2 {
+				eff *= 0.90
+			}
+			scRate = per4 * nodes * eff
+		}
+
+		old := "-"
+		if n <= 32 {
+			gm := machine.NewSMP(machine.GS320Config(n))
+			old = f1(appRate(gm, n, c, warm, measure) / unit)
+		}
+		t.AddRow(fmt.Sprintf("%d", n), f1(gsRate), f1(scRate), old)
+	}
+	return t
+}
+
+func min4(n int) int {
+	if n > 4 {
+		return 4
+	}
+	return n
+}
+
+// Fig19Fluent regenerates Fig 19: Fluent rating against CPU count. The
+// paper's finding: GS1280 comparable to SC45 (the application is
+// CPU-bound and the 16 MB cache helps the older machines), both well
+// above GS320.
+func Fig19Fluent(counts []int, warm, measure sim.Time) *Table {
+	if warm == 0 {
+		warm, measure = 20*sim.Microsecond, 80*sim.Microsecond
+	}
+	t := appTable("fig19", "Fluent (CFD, large case) rating vs CPUs", "rating",
+		fluentClass, 1e6, counts, warm, measure)
+	t.AddNote("paper: GS1280 ~ SC45 (CPU-bound; 16MB cache helps blocked CFD); both >> GS320")
+	return t
+}
+
+// Fig20FluentUtil regenerates Fig 20: memory-controller and IP-link
+// utilization during a Fluent run — both low.
+func Fig20FluentUtil() *Table {
+	return utilTable("fig20", "Fluent: memory and IP-link utilization (16P GS1280)", fluentClass,
+		"paper: ~6%% memory, ~2%% IP — neither subsystem is stressed")
+}
+
+// Fig21NASSP regenerates Fig 21: NAS Parallel SP scaling, the
+// memory-bandwidth-bound class where GS1280's private Zboxes dominate.
+func Fig21NASSP(counts []int, warm, measure sim.Time) *Table {
+	if warm == 0 {
+		warm, measure = 20*sim.Microsecond, 80*sim.Microsecond
+	}
+	t := appTable("fig21", "NAS Parallel SP (class C) MOPS vs CPUs", "MOPS",
+		spClass, 1e6, counts, warm, measure)
+	t.AddNote("paper: GS1280 >> SC45 > GS320, driven by memory bandwidth (Figs 6/7)")
+	return t
+}
+
+// Fig22SPUtil regenerates Fig 22: utilization during SP — high memory
+// (~26%%), low IP.
+func Fig22SPUtil() *Table {
+	return utilTable("fig22", "NAS SP: memory and IP-link utilization (16P GS1280)", spClass,
+		"paper: ~26%% memory controllers, low IP links")
+}
+
+// utilTable runs class c on a 16P GS1280 with the perfmon sampler and
+// tabulates the utilization time series (Figs 20/22).
+func utilTable(id, title string, c appClass, note string) *Table {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"t (us)", "memory ctl %", "IP links %"},
+	}
+	m := machine.NewGS1280(machine.GS1280Config{W: 4, H: 4, RegionBytes: 32 << 20})
+	warmFootprints(m, 16, c)
+	s := perfmon.NewSampler(m, 10*sim.Microsecond)
+	for i, st := range mixStreams(m, 16, c) {
+		if st != nil {
+			m.CPU(i).Run(st, nil)
+		}
+	}
+	s.Schedule(8)
+	m.Engine().RunUntil(m.Engine().Now() + 85*sim.Microsecond)
+	for _, snap := range s.Snapshots {
+		t.AddRow(f1(snap.At.Microseconds()), f1(snap.AvgZbox()*100), f1(snap.AvgLink()*100))
+	}
+	t.AddNote(note)
+	return t
+}
+
+// Fig23CPUCounts is the GUPS sweep.
+var Fig23CPUCounts = []int{4, 8, 16, 32, 64}
+
+// Fig23GUPS regenerates Fig 23: GUPS updates/second. The random table
+// spans all memory, so the experiment is bound by IP-link cross-section;
+// the paper's bend at 32 CPUs appears because the 16P (4x4) and 32P (8x4)
+// tori share the same bisection width.
+func Fig23GUPS(counts []int, warm, measure sim.Time) *Table {
+	if counts == nil {
+		counts = Fig23CPUCounts
+	}
+	if warm == 0 {
+		warm, measure = 20*sim.Microsecond, 80*sim.Microsecond
+	}
+	t := &Table{
+		ID:     "fig23",
+		Title:  "GUPS (Mupdates/s) vs CPUs",
+		Header: []string{"CPUs", "GS1280", "GS320", "ES45"},
+	}
+	for _, n := range counts {
+		w, h := machine.StandardShape(n)
+		gs := machine.NewGS1280(machine.GS1280Config{W: w, H: h, RegionBytes: 16 << 20})
+		gsRate := gupsRate(gs, n, warm, measure)
+
+		old := "-"
+		if n <= 32 {
+			gm := machine.NewSMP(machine.GS320Config(n))
+			old = f1(gupsRate(gm, n, warm, measure))
+		}
+		es := "-"
+		if n <= 4 {
+			em := machine.NewSMP(machine.ES45Config())
+			es = f1(gupsRate(em, n, warm, measure))
+		}
+		t.AddRow(fmt.Sprintf("%d", n), f1(gsRate), old, es)
+	}
+	t.AddNote("paper: GS1280 reaches ~1000 Mup/s at 64P with a bend at 32 (flat cross-section 16->32);")
+	t.AddNote("GS320/ES45 stay an order of magnitude lower")
+	return t
+}
+
+func gupsRate(m machine.Machine, n int, warm, measure sim.Time) float64 {
+	ss := make([]cpu.Stream, m.N())
+	total := int64(n) * m.RegionBytes()
+	for i := 0; i < n; i++ {
+		ss[i] = workload.NewGUPS(0, total, 1<<30, uint64(i*104729+7))
+	}
+	interval := workload.RunTimed(m, ss, warm, measure)
+	var ops uint64
+	for i := 0; i < n; i++ {
+		ops += m.CPU(i).Stats().Ops
+	}
+	return float64(ops) / interval.Seconds() / 1e6
+}
+
+// Fig24GUPSUtil regenerates Fig 24: per-direction link utilization during
+// GUPS on the 32-CPU (8x4) machine — East/West links run hotter than
+// North/South because the long dimension carries more traffic.
+func Fig24GUPSUtil() *Table {
+	t := &Table{
+		ID:     "fig24",
+		Title:  "GUPS on 32P GS1280: memory and per-direction link utilization",
+		Header: []string{"t (us)", "memory ctl %", "N/S links %", "E/W links %"},
+	}
+	m := machine.NewGS1280(machine.GS1280Config{W: 8, H: 4, RegionBytes: 16 << 20})
+	s := perfmon.NewSampler(m, 10*sim.Microsecond)
+	total := int64(32) * m.RegionBytes()
+	for i := 0; i < 32; i++ {
+		m.CPU(i).Run(workload.NewGUPS(0, total, 1<<30, uint64(i*104729+7)), nil)
+	}
+	s.Schedule(6)
+	m.Engine().RunUntil(m.Engine().Now() + 65*sim.Microsecond)
+	for _, snap := range s.Snapshots {
+		t.AddRow(f1(snap.At.Microseconds()), f1(snap.AvgZbox()*100),
+			f1(snap.AvgNS()*100), f1(snap.AvgEW()*100))
+	}
+	t.AddNote("paper: E/W utilization visibly above N/S in the 4x8 torus")
+	return t
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gs1280/internal/cpu"
+	"gs1280/internal/machine"
+	"gs1280/internal/sim"
+	"gs1280/internal/topology"
+	"gs1280/internal/workload"
+)
+
+// ReadLatency measures CPU `from`'s load-to-use latency to a line homed in
+// CPU `to`'s region of m, with the target's RDRAM pages warmed first (the
+// paper's idle-machine methodology of Figs 12-14).
+func ReadLatency(m machine.Machine, from, to int) sim.Time {
+	base := m.RegionBase(to) + 1<<20 // avoid lines the warmup dirtied
+	// Warm both controllers' pages at the home.
+	machineRun(m, to, workload.NewPointerChase(base, 4*64, 64, 4))
+	m.ResetStats()
+	machineRun(m, from, workload.NewPointerChase(base+256, 4*64, 64, 4))
+	return m.CPU(from).Stats().AvgLatency()
+}
+
+// dirtyLatency measures a read-dirty: `owner` writes the line, then `from`
+// reads it (a 3-hop forward on the GS1280).
+func dirtyLatency(m machine.Machine, from, owner, home int) sim.Time {
+	addr := m.RegionBase(home) + 2<<20
+	w := workload.NewGUPS(addr, 64, 1, 1) // one write to one line
+	machineRun(m, owner, w)
+	m.ResetStats()
+	machineRun(m, from, workload.NewPointerChase(addr, 64, 64, 1))
+	return m.CPU(from).Stats().AvgLatency()
+}
+
+// Fig12RemoteLatency regenerates Fig 12: latency from CPU0 to every CPU's
+// memory on 16-CPU GS1280 and GS320, plus the read-dirty averages behind
+// the paper's "4x clean / 6.6x dirty" claim.
+func Fig12RemoteLatency() *Table {
+	t := &Table{
+		ID:     "fig12",
+		Title:  "Local/remote latency from CPU0 on 16 CPUs (ns)",
+		Header: []string{"target", "GS1280", "GS320"},
+	}
+	gs := machine.NewGS1280(machine.GS1280Config{W: 4, H: 4})
+	old := machine.NewSMP(machine.GS320Config(16))
+	var gsSum, oldSum, gsDirtySum, oldDirtySum float64
+	for i := 0; i < 16; i++ {
+		gl := ReadLatency(gs, 0, i)
+		ol := ReadLatency(old, 0, i)
+		gsSum += gl.Nanoseconds()
+		oldSum += ol.Nanoseconds()
+		// Dirty read: the line's last writer is the target CPU itself
+		// (or CPU1 for the local row).
+		owner := i
+		if i == 0 {
+			owner = 1
+		}
+		gsDirtySum += dirtyLatency(gs, 0, owner, i).Nanoseconds()
+		oldDirtySum += dirtyLatency(old, 0, owner, i).Nanoseconds()
+		t.AddRow(fmt.Sprintf("0 -> %d", i), fns(gl), fns(ol))
+	}
+	t.AddRow("average", f1(gsSum/16), f1(oldSum/16))
+	t.AddNote("clean-read average ratio GS320/GS1280 = %.1fx (paper: 4x)", oldSum/gsSum)
+	t.AddNote("read-dirty average ratio = %.1fx (paper: 6.6x)", oldDirtySum/gsDirtySum)
+	return t
+}
+
+// Fig13LatencyMatrix regenerates Fig 13: the 4x4 torus latency matrix
+// from node 0 (paper values: 83 local, 139-154 one hop, 175-195 two hops,
+// 259 worst).
+func Fig13LatencyMatrix() *Table {
+	t := &Table{
+		ID:     "fig13",
+		Title:  "GS1280 remote latencies (ns) from node 0 on a 4x4 torus",
+		Header: []string{"row", "x=0", "x=1", "x=2", "x=3"},
+	}
+	gs := machine.NewGS1280(machine.GS1280Config{W: 4, H: 4})
+	for y := 0; y < 4; y++ {
+		row := []string{fmt.Sprintf("y=%d", y)}
+		for x := 0; x < 4; x++ {
+			target := int(gs.Topo.Node(topology.Coord{X: x, Y: y}))
+			row = append(row, fns(ReadLatency(gs, 0, target)))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper matrix: [83 145 186 154 / 139 175 221 182 / 181 221 259 222 / 154 191 235 195]")
+	return t
+}
+
+// Fig14CPUCounts is the paper's sweep.
+var Fig14CPUCounts = []int{4, 8, 16, 32, 64}
+
+// Fig14AvgLatency regenerates Fig 14: average load-to-use latency from
+// CPU0 to all CPUs as the machine grows.
+func Fig14AvgLatency(counts []int) *Table {
+	if counts == nil {
+		counts = Fig14CPUCounts
+	}
+	t := &Table{
+		ID:     "fig14",
+		Title:  "Average load-to-use latency (ns) vs CPUs",
+		Header: []string{"CPUs", "GS1280", "GS320"},
+	}
+	for _, n := range counts {
+		w, h := machine.StandardShape(n)
+		gs := machine.NewGS1280(machine.GS1280Config{W: w, H: h})
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += ReadLatency(gs, 0, i).Nanoseconds()
+		}
+		old := "-"
+		if n <= 32 {
+			gm := machine.NewSMP(machine.GS320Config(n))
+			var osum float64
+			for i := 0; i < n; i++ {
+				osum += ReadLatency(gm, 0, i).Nanoseconds()
+			}
+			old = f1(osum / float64(n))
+		}
+		t.AddRow(fmt.Sprintf("%d", n), f1(sum/float64(n)), old)
+	}
+	t.AddNote("paper: GS1280 stays under ~300ns at 64P; GS320 ~650ns at 32P")
+	return t
+}
+
+// LoadPoint is one (bandwidth, latency) sample of a load-test curve.
+type LoadPoint struct {
+	Outstanding int
+	BandwidthMB float64
+	LatencyNs   float64
+}
+
+// loadTest sweeps outstanding references on m (every CPU doing uniform
+// random remote reads) and returns the Fig 15 curve.
+func loadTest(mk func() machine.Machine, outstanding []int, warm, measure sim.Time) []LoadPoint {
+	var pts []LoadPoint
+	for _, k := range outstanding {
+		m := mk()
+		ss := makeLoadStreams(m, k)
+		interval := workload.RunTimed(m, ss, warm, measure)
+		var ops uint64
+		var latSum sim.Time
+		for i := 0; i < m.N(); i++ {
+			st := m.CPU(i).Stats()
+			ops += st.Ops
+			latSum += st.LatencySum
+		}
+		if ops == 0 {
+			continue
+		}
+		pts = append(pts, LoadPoint{
+			Outstanding: k,
+			BandwidthMB: float64(ops) * 64 / interval.Seconds() / 1e6,
+			LatencyNs:   (latSum / sim.Time(ops)).Nanoseconds(),
+		})
+	}
+	return pts
+}
+
+func makeLoadStreams(m machine.Machine, k int) []cpu.Stream {
+	ss := make([]cpu.Stream, m.N())
+	for i := 0; i < m.N(); i++ {
+		m.CPU(i).SetMLP(k)
+		ss[i] = workload.NewRandomRemote(i, m.N(), m.RegionBytes(), 1<<30, uint64(i*2654435761+1))
+	}
+	return ss
+}
+
+// Fig15Outstanding is the default sweep (the paper runs 1..30).
+var Fig15Outstanding = []int{1, 2, 4, 8, 12, 16, 24, 30}
+
+// Fig15LoadTest regenerates Fig 15: latency against delivered bandwidth
+// under increasing load for 16/32/64-CPU GS1280 and 16/32-CPU GS320.
+// The GS1280 runs with home-controller NAK/retry enabled, which is what
+// bends delivered bandwidth backward past saturation in the paper.
+func Fig15LoadTest(outstanding []int, warm, measure sim.Time) *Table {
+	if outstanding == nil {
+		outstanding = Fig15Outstanding
+	}
+	if warm == 0 {
+		warm = 20 * sim.Microsecond
+	}
+	if measure == 0 {
+		measure = 60 * sim.Microsecond
+	}
+	t := &Table{
+		ID:     "fig15",
+		Title:  "Load test: latency (ns) vs delivered bandwidth (MB/s)",
+		Header: []string{"config", "outstanding", "bandwidth MB/s", "latency ns"},
+	}
+	run := func(name string, mk func() machine.Machine) {
+		for _, p := range loadTest(mk, outstanding, warm, measure) {
+			t.AddRow(name, fmt.Sprintf("%d", p.Outstanding),
+				f1(p.BandwidthMB), f1(p.LatencyNs))
+		}
+	}
+	for _, n := range []int{16, 32, 64} {
+		n := n
+		w, h := machine.StandardShape(n)
+		run(fmt.Sprintf("GS1280/%dP", n), func() machine.Machine {
+			return machine.NewGS1280(machine.GS1280Config{W: w, H: h, NAKThreshold: 8})
+		})
+	}
+	for _, n := range []int{16, 32} {
+		n := n
+		run(fmt.Sprintf("GS320/%dP", n), func() machine.Machine {
+			return machine.NewSMP(machine.GS320Config(n))
+		})
+	}
+	t.AddNote("paper: GS1280 sustains far higher bandwidth at small latency growth; GS320 latency explodes early")
+	return t
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gs1280/internal/cpu"
+	"gs1280/internal/machine"
+	"gs1280/internal/sim"
+	"gs1280/internal/workload"
+)
+
+// Fig04Sizes is the paper's dataset-size sweep (4 KB to 64 MB; the paper
+// continues to 128 MB but the curves are flat past 64 MB).
+var Fig04Sizes = []int64{
+	4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10,
+	512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20,
+}
+
+// Fig04DependentLoad regenerates Fig 4: dependent-load latency against
+// dataset size on the three machines. The GS1280 curve steps at 64 KB
+// (L1), 1.75 MB (L2) and then memory at ~83 ns; the previous generation
+// steps at 64 KB and 16 MB, with its off-chip cache slower than GS1280's
+// on-chip L2 but its 16 MB capacity winning between 1.75 and 16 MB.
+func Fig04DependentLoad(sizes []int64) *Table {
+	if sizes == nil {
+		sizes = Fig04Sizes
+	}
+	t := &Table{
+		ID:     "fig4",
+		Title:  "Dependent load latency (ns) vs dataset size",
+		Header: []string{"dataset", "GS1280/1.15GHz", "ES45/1.25GHz", "GS320/1.22GHz"},
+	}
+	const measureOps = 60000
+	for _, size := range sizes {
+		gs := machine.NewGS1280(machine.GS1280Config{W: 2, H: 1})
+		es := machine.NewSMP(machine.ES45Config())
+		old := machine.NewSMP(machine.GS320Config(4))
+		t.AddRow(byteSize(size),
+			fns(chaseLatency(gs, size, 64, measureOps)),
+			fns(chaseLatency(es, size, 64, measureOps)),
+			fns(chaseLatency(old, size, 64, measureOps)))
+	}
+	t.AddNote("paper: GS1280 3.8x lower latency at 32MB; slower only between 1.75MB and 16MB")
+	return t
+}
+
+// Fig05Strides and Fig05Sizes span the Fig 5 surface.
+var (
+	Fig05Strides = []int64{16, 64, 256, 1 << 10, 4 << 10, 16 << 10}
+	Fig05Sizes   = []int64{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
+)
+
+// Fig05StrideSweep regenerates Fig 5: GS1280 dependent-load latency as
+// both dataset size and stride grow. Large strides defeat the RDRAM
+// open-page hits, raising memory latency from ~83 ns toward ~130 ns.
+func Fig05StrideSweep(sizes, strides []int64) *Table {
+	if sizes == nil {
+		sizes = Fig05Sizes
+	}
+	if strides == nil {
+		strides = Fig05Strides
+	}
+	t := &Table{
+		ID:    "fig5",
+		Title: "GS1280 dependent load latency (ns) vs dataset size and stride",
+		Header: append([]string{"dataset"}, func() []string {
+			var h []string
+			for _, s := range strides {
+				h = append(h, "s="+byteSize(s))
+			}
+			return h
+		}()...),
+	}
+	const measureOps = 60000
+	for _, size := range sizes {
+		row := []string{byteSize(size)}
+		for _, stride := range strides {
+			if stride > size {
+				row = append(row, "-")
+				continue
+			}
+			gs := machine.NewGS1280(machine.GS1280Config{W: 2, H: 1})
+			row = append(row, fns(chaseLatency(gs, size, stride, measureOps)))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: ~80ns open-page rising to ~130ns closed-page at large strides")
+	return t
+}
+
+// triadBandwidth runs the STREAM triad on n CPUs of m and reports
+// delivered GB/s (bytes of a/b/c traffic per second, McCalpin counting).
+// A warm pass first fills each CPU's cache to steady state so the
+// measured interval includes the dirty-eviction writeback traffic a real
+// STREAM run sustains.
+func triadBandwidth(m machine.Machine, n int, arrayBytes int64, warm, measure sim.Time) float64 {
+	const warmOps = 36000 // > 1.2x the EV7 L2's 28672 lines
+	streams := make([]cpu.Stream, m.N())
+	for i := 0; i < n; i++ {
+		streams[i] = workload.NewTriad(m.RegionBase(i), arrayBytes, 1<<30)
+	}
+	// Warm pass: run the first warmOps of each CPU's stream so the caches
+	// fill with recently-streamed lines; measurement then continues the
+	// same streams into cold lines with steady-state eviction traffic.
+	for i := 0; i < n; i++ {
+		m.CPU(i).Run(workload.NewCapped(streams[i], warmOps), nil)
+	}
+	m.Engine().Run()
+	m.ResetStats()
+	interval := workload.RunTimed(m, streams, warm, measure)
+	var ops uint64
+	for i := 0; i < n; i++ {
+		ops += m.CPU(i).Stats().Ops
+	}
+	return float64(ops) * 64 / interval.Seconds() / 1e9
+}
+
+// Fig06CPUCounts is the paper's scaling sweep.
+var Fig06CPUCounts = []int{1, 2, 4, 8, 16, 32, 64}
+
+// Fig06StreamScaling regenerates Fig 6: STREAM Triad bandwidth scaling.
+// GS1280 scales linearly (private Zboxes per CPU); GS320 saturates per
+// QBB; SC45 scales in steps of four (cluster nodes share a bus).
+func Fig06StreamScaling(counts []int) *Table {
+	if counts == nil {
+		counts = Fig06CPUCounts
+	}
+	t := &Table{
+		ID:     "fig6",
+		Title:  "McCalpin STREAM Triad bandwidth (GB/s) vs CPUs",
+		Header: []string{"CPUs", "GS1280", "SC45", "GS320"},
+	}
+	const arrayBytes = 8 << 20 // 3 arrays x 8 MB >> any cache
+	warm, measure := 20*sim.Microsecond, 100*sim.Microsecond
+	for _, n := range counts {
+		w, h := machine.StandardShape(n)
+		gs := machine.NewGS1280(machine.GS1280Config{W: w, H: h, RegionBytes: 32 << 20})
+		gsBW := triadBandwidth(gs, n, arrayBytes, warm, measure)
+
+		sc := "-"
+		if n <= 4 {
+			es := machine.NewSMP(machine.ES45Config())
+			sc = f1(triadBandwidth(es, n, arrayBytes, warm, measure))
+		} else {
+			// SC45 clusters ES45 nodes: triad is node-local, so bandwidth
+			// is (n/4) independent nodes.
+			es := machine.NewSMP(machine.ES45Config())
+			per4 := triadBandwidth(es, 4, arrayBytes, warm, measure)
+			sc = f1(per4 * float64(n) / 4)
+		}
+
+		old := "-"
+		if n <= 32 {
+			gm := machine.NewSMP(machine.GS320Config(n))
+			old = f1(triadBandwidth(gm, n, arrayBytes, warm, measure))
+		}
+		t.AddRow(fmt.Sprintf("%d", n), f1(gsBW), sc, old)
+	}
+	t.AddNote("paper: GS1280 linear to ~350GB/s at 64P; GS320 flat after one QBB saturates")
+	return t
+}
+
+// Fig07Stream1v4 regenerates Fig 7: Triad at 1 and 4 CPUs on the three
+// machines — the private-memory vs shared-bus contrast.
+func Fig07Stream1v4() *Table {
+	t := &Table{
+		ID:     "fig7",
+		Title:  "STREAM Triad (GB/s): 1 CPU vs 4 CPUs",
+		Header: []string{"machine", "1 CPU", "4 CPUs", "scaling"},
+	}
+	const arrayBytes = 8 << 20
+	warm, measure := 20*sim.Microsecond, 100*sim.Microsecond
+	row := func(name string, mk func() machine.Machine) {
+		b1 := triadBandwidth(mk(), 1, arrayBytes, warm, measure)
+		b4 := triadBandwidth(mk(), 4, arrayBytes, warm, measure)
+		t.AddRow(name, f2(b1), f2(b4), f2(b4/b1))
+	}
+	row("GS1280/1.15GHz", func() machine.Machine {
+		return machine.NewGS1280(machine.GS1280Config{W: 2, H: 2, RegionBytes: 32 << 20})
+	})
+	row("ES45/1.25GHz", func() machine.Machine { return machine.NewSMP(machine.ES45Config()) })
+	row("GS320/1.2GHz", func() machine.Machine { return machine.NewSMP(machine.GS320Config(4)) })
+	t.AddNote("paper: GS1280 scales ~4x (private memory per CPU); ES45/GS320 sublinear (shared bus)")
+	return t
+}
+
+func byteSize(v int64) string {
+	switch {
+	case v >= 1<<20:
+		return fmt.Sprintf("%dm", v>>20)
+	case v >= 1<<10:
+		return fmt.Sprintf("%dk", v>>10)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}

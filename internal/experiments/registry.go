@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"gs1280/internal/sim"
+)
+
+// quick durations shrink simulated measurement windows and sweep densities
+// so the full suite runs in seconds instead of minutes.
+const (
+	quickWarm    = 10 * sim.Microsecond
+	quickMeasure = 25 * sim.Microsecond
+)
+
+var quickSizes = []int64{16 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 32 << 20}
+
+// Runner regenerates one paper artifact. quick trades sweep density for
+// runtime without changing the experiment's structure.
+type Runner func(quick bool) *Table
+
+// Registry maps experiment ids (fig1, fig4, ..., tab1) to runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig1": func(bool) *Table { return Fig01SPECfpRate(nil) },
+		"fig4": func(q bool) *Table {
+			if q {
+				return Fig04DependentLoad(quickSizes)
+			}
+			return Fig04DependentLoad(nil)
+		},
+		"fig5": func(q bool) *Table {
+			if q {
+				return Fig05StrideSweep([]int64{64 << 10, 1 << 20, 4 << 20}, []int64{64, 1 << 10, 16 << 10})
+			}
+			return Fig05StrideSweep(nil, nil)
+		},
+		"fig6": func(q bool) *Table {
+			if q {
+				return Fig06StreamScaling([]int{1, 4, 16})
+			}
+			return Fig06StreamScaling(nil)
+		},
+		"fig7":  func(bool) *Table { return Fig07Stream1v4() },
+		"fig8":  func(bool) *Table { return Fig08IPCfp() },
+		"fig9":  func(bool) *Table { return Fig09IPCint() },
+		"fig10": func(bool) *Table { return Fig10UtilFp() },
+		"fig11": func(bool) *Table { return Fig11UtilInt() },
+		"fig12": func(bool) *Table { return Fig12RemoteLatency() },
+		"fig13": func(bool) *Table { return Fig13LatencyMatrix() },
+		"fig14": func(q bool) *Table {
+			if q {
+				return Fig14AvgLatency([]int{4, 16, 64})
+			}
+			return Fig14AvgLatency(nil)
+		},
+		"fig15": func(q bool) *Table {
+			if q {
+				return Fig15LoadTest([]int{1, 8, 30}, quickWarm, quickMeasure)
+			}
+			return Fig15LoadTest(nil, 0, 0)
+		},
+		"tab1": func(bool) *Table { return Tab1ShuffleAnalytic() },
+		"fig18": func(q bool) *Table {
+			if q {
+				return Fig18ShuffleMeasured([]int{2, 8}, quickWarm, quickMeasure)
+			}
+			return Fig18ShuffleMeasured(nil, 0, 0)
+		},
+		"fig19": func(q bool) *Table {
+			if q {
+				return Fig19Fluent([]int{4, 16}, quickWarm, quickMeasure)
+			}
+			return Fig19Fluent(nil, 0, 0)
+		},
+		"fig20": func(bool) *Table { return Fig20FluentUtil() },
+		"fig21": func(q bool) *Table {
+			if q {
+				return Fig21NASSP([]int{4, 16}, quickWarm, quickMeasure)
+			}
+			return Fig21NASSP(nil, 0, 0)
+		},
+		"fig22": func(bool) *Table { return Fig22SPUtil() },
+		"fig23": func(q bool) *Table {
+			if q {
+				return Fig23GUPS([]int{4, 16, 32}, quickWarm, quickMeasure)
+			}
+			return Fig23GUPS(nil, 0, 0)
+		},
+		"fig24": func(bool) *Table { return Fig24GUPSUtil() },
+		"fig25": func(bool) *Table { return Fig25StripingDegradation() },
+		"fig26": func(q bool) *Table {
+			if q {
+				return Fig26HotSpotStriping([]int{2, 16}, quickWarm, quickMeasure)
+			}
+			return Fig26HotSpotStriping(nil, 0, 0)
+		},
+		"fig27": func(bool) *Table { return Fig27Xmesh() },
+		"fig28": func(q bool) *Table {
+			if q {
+				return Fig28Summary(quickWarm, quickMeasure)
+			}
+			return Fig28Summary(0, 0)
+		},
+		"ablation": func(q bool) *Table {
+			if q {
+				return AblationLoadTest([]int{4, 30}, quickWarm, quickMeasure)
+			}
+			return AblationLoadTest(nil, 20*sim.Microsecond, 60*sim.Microsecond)
+		},
+	}
+}
+
+// IDs reports all experiment ids in a stable order.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		// tab1 sorts between fig15 and fig18, matching the paper's order.
+		rank := func(s string) int {
+			switch s {
+			case "tab1":
+				return 16
+			case "ablation":
+				return 99
+			default:
+				var n int
+				fmt.Sscanf(s, "fig%d", &n)
+				return n
+			}
+		}
+		return rank(ids[i]) < rank(ids[j])
+	})
+	return ids
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, quick bool) (*Table, error) {
+	r, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (see IDs())", id)
+	}
+	return r(quick), nil
+}

@@ -1,0 +1,247 @@
+// Package machine assembles the three systems the paper compares:
+//
+//   - GS1280: up to 64 EV7 nodes on a 2-D adaptive torus, each with an
+//     on-chip 1.75 MB L2, two RDRAM Zboxes and a router (§2). Built from
+//     the full network/coherence/memctrl substrates.
+//   - GS320: eight Quad Building Blocks of four 21264 CPUs behind a local
+//     switch, joined by a hierarchical global switch, with off-chip 16 MB
+//     direct-mapped L2s.
+//   - ES45/SC45: a four-CPU shared-memory node (clustered over a Quadrics
+//     switch for MPI workloads).
+//
+// All latency/bandwidth constants are calibrated to the paper's own
+// measurements and collected here so every experiment shares one source of
+// truth.
+package machine
+
+import (
+	"fmt"
+
+	"gs1280/internal/coherence"
+	"gs1280/internal/cpu"
+	"gs1280/internal/memctrl"
+	"gs1280/internal/network"
+	"gs1280/internal/sim"
+	"gs1280/internal/topology"
+	"gs1280/internal/trace"
+)
+
+// GS1280Config selects the shape and policies of a GS1280 machine.
+type GS1280Config struct {
+	// W, H set the torus dimensions (the paper's systems: 2x2, 4x2, 4x4,
+	// 8x4, 8x8 for 4..64 CPUs).
+	W, H int
+	// Shuffle re-cables the torus per §4.1.
+	Shuffle bool
+	// Policy restricts shuffle-link routing (Fig 18's 1-hop/2-hop).
+	Policy topology.RoutePolicy
+	// Striped interleaves memory across module pairs (§6).
+	Striped bool
+	// RegionBytes is the per-node memory region exposed to workloads.
+	// Defaults to 64 MB (large enough to dwarf the caches, small enough
+	// to keep directory maps cheap).
+	RegionBytes int64
+	// MLP bounds outstanding misses per CPU; defaults to the EV7's 16.
+	MLP int
+	// NAKThreshold enables home-controller NAK/retry (Fig 15's
+	// beyond-saturation behaviour). Zero disables.
+	NAKThreshold int
+
+	// NetOverride, CohOverride and ZboxOverride adjust the substrate
+	// parameters after defaults are applied; used by ablation studies.
+	NetOverride  func(*network.Params)
+	CohOverride  func(*coherence.Params)
+	ZboxOverride func(*memctrl.Params)
+}
+
+// GS1280 is an assembled machine.
+type GS1280 struct {
+	Eng  *sim.Engine
+	Topo *topology.Topology
+	Net  *network.Network
+	Coh  *coherence.System
+	CPUs []*cpu.CPU
+
+	cfg GS1280Config
+}
+
+// gs1280Port adapts one node's coherence engine to the cpu.Port interface.
+type gs1280Port struct {
+	coh *coherence.System
+	id  topology.NodeID
+}
+
+func (p gs1280Port) Access(addr int64, write bool, done func(sim.Time)) {
+	p.coh.Access(p.id, addr, write, done)
+}
+
+// NewGS1280 builds the machine. CPU i is the node at torus position
+// (i mod W, i div W).
+func NewGS1280(cfg GS1280Config) *GS1280 {
+	if cfg.W <= 0 || cfg.H <= 0 {
+		panic("machine: GS1280 needs positive torus dimensions")
+	}
+	if cfg.W*cfg.H > 64 {
+		panic(fmt.Sprintf("machine: GS1280 tops out at 64 CPUs, got %d", cfg.W*cfg.H))
+	}
+	if cfg.RegionBytes == 0 {
+		cfg.RegionBytes = 64 << 20
+	}
+	if cfg.MLP == 0 {
+		cfg.MLP = 16
+	}
+
+	eng := sim.NewEngine()
+	var topo *topology.Topology
+	if cfg.Shuffle {
+		topo = topology.NewShuffle(cfg.W, cfg.H)
+	} else {
+		topo = topology.NewTorus(cfg.W, cfg.H)
+	}
+	netParams := network.DefaultParams()
+	netParams.Policy = cfg.Policy
+	if cfg.NetOverride != nil {
+		cfg.NetOverride(&netParams)
+	}
+	net := network.New(eng, topo, netParams)
+
+	cohParams := coherence.DefaultParams()
+	cohParams.NAKThreshold = cfg.NAKThreshold
+	if cfg.CohOverride != nil {
+		cfg.CohOverride(&cohParams)
+	}
+	var amap coherence.AddressMap
+	if cfg.Striped {
+		amap = coherence.NewStripedAddressMap(topo.N(), cfg.RegionBytes, cohParams.LineBytes, ModulePartners(topo))
+	} else {
+		amap = coherence.NewAddressMap(topo.N(), cfg.RegionBytes, cohParams.LineBytes)
+	}
+	zboxParams := memctrl.DefaultParams()
+	if cfg.ZboxOverride != nil {
+		cfg.ZboxOverride(&zboxParams)
+	}
+	coh := coherence.NewSystem(eng, net, amap, cohParams, zboxParams)
+
+	m := &GS1280{Eng: eng, Topo: topo, Net: net, Coh: coh, cfg: cfg}
+	m.CPUs = make([]*cpu.CPU, topo.N())
+	for i := range m.CPUs {
+		m.CPUs[i] = cpu.New(eng, i, cfg.MLP, gs1280Port{coh: coh, id: topology.NodeID(i)})
+	}
+	return m
+}
+
+// ioPort models the EV7's full-duplex I/O link: coherent DMA issued by
+// the node's I/O ASIC, rate-limited to the 3.1 GB/s port bandwidth with a
+// small link crossing latency.
+type ioPort struct {
+	inner gs1280Port
+	eng   *sim.Engine
+	link  *sim.Resource
+}
+
+const (
+	ioLinkBandwidth = 3_100_000_000
+	ioLinkLatency   = 50 * sim.Nanosecond
+)
+
+func (p ioPort) Access(addr int64, write bool, done func(sim.Time)) {
+	issued := p.eng.Now()
+	transfer := sim.TransferTime(64, ioLinkBandwidth)
+	start := p.link.Acquire(transfer)
+	p.eng.At(start, func() {
+		p.inner.Access(addr, write, func(sim.Time) {
+			end := p.eng.Now() + ioLinkLatency
+			p.eng.At(end, func() { done(end - issued) })
+		})
+	})
+}
+
+// NewIOEngine returns a DMA requester attached to node i's I/O port — the
+// path behind the paper's 3.1 GB/s-per-node I/O bandwidth claims (Fig 28).
+// Each call creates an independent engine sharing the node's single port.
+func (m *GS1280) NewIOEngine(i int) *cpu.CPU {
+	port := ioPort{
+		inner: gs1280Port{coh: m.Coh, id: topology.NodeID(i)},
+		eng:   m.Eng,
+		link:  sim.NewResource(m.Eng),
+	}
+	return cpu.New(m.Eng, i, 8, port)
+}
+
+// SetTrace attaches a protocol trace buffer to the machine.
+func (m *GS1280) SetTrace(b *trace.Buffer) { m.Coh.SetTrace(b) }
+
+// Config reports the construction parameters.
+func (m *GS1280) Config() GS1280Config { return m.cfg }
+
+// N reports the CPU count.
+func (m *GS1280) N() int { return len(m.CPUs) }
+
+// RegionBase reports the first address of CPU i's local memory.
+func (m *GS1280) RegionBase(i int) int64 {
+	return m.Coh.AddressMap().RegionBase(topology.NodeID(i))
+}
+
+// RegionBytes reports the per-node region size.
+func (m *GS1280) RegionBytes() int64 { return m.cfg.RegionBytes }
+
+// TotalMemory reports the machine's physical memory size.
+func (m *GS1280) TotalMemory() int64 { return m.Coh.AddressMap().TotalBytes() }
+
+// ResetStats clears CPU, protocol, Zbox and link counters — typically
+// after cache warmup, before a measurement interval.
+func (m *GS1280) ResetStats() {
+	for _, c := range m.CPUs {
+		c.ResetStats()
+	}
+	m.Coh.ResetStats()
+	m.Net.ResetStats()
+}
+
+// ModulePartners builds the partner table used by memory striping: the two
+// CPUs of a dual-processor module are the vertical pair (x, 2k), (x, 2k+1).
+// For H == 1 machines each node partners with its horizontal pair.
+func ModulePartners(topo *topology.Topology) []topology.NodeID {
+	partners := make([]topology.NodeID, topo.N())
+	for n := range partners {
+		c := topo.Coord(topology.NodeID(n))
+		if topo.H > 1 {
+			if c.Y%2 == 0 {
+				partners[n] = topo.Node(topology.Coord{X: c.X, Y: c.Y + 1})
+			} else {
+				partners[n] = topo.Node(topology.Coord{X: c.X, Y: c.Y - 1})
+			}
+		} else {
+			if c.X%2 == 0 {
+				partners[n] = topo.Node(topology.Coord{X: c.X + 1, Y: c.Y})
+			} else {
+				partners[n] = topo.Node(topology.Coord{X: c.X - 1, Y: c.Y})
+			}
+		}
+	}
+	return partners
+}
+
+// StandardShape reports the torus dimensions the GS1280 product line used
+// for a given CPU count (2x2 drawers scaling to the 8x8 64-way system; the
+// 32-way machine is the 4x8 of Fig 24).
+func StandardShape(cpus int) (w, h int) {
+	switch cpus {
+	case 1:
+		return 1, 1
+	case 2:
+		return 2, 1
+	case 4:
+		return 2, 2
+	case 8:
+		return 4, 2
+	case 16:
+		return 4, 4
+	case 32:
+		return 8, 4
+	case 64:
+		return 8, 8
+	default:
+		panic(fmt.Sprintf("machine: no standard GS1280 shape for %d CPUs", cpus))
+	}
+}

@@ -1,0 +1,44 @@
+package machine
+
+import (
+	"gs1280/internal/cpu"
+	"gs1280/internal/sim"
+)
+
+// Machine is the surface workloads run against, satisfied by both the
+// GS1280 and the SMP baselines. Addresses are laid out as per-CPU regions,
+// so a workload can aim at "CPU i's local memory" identically on every
+// system.
+type Machine interface {
+	Name() string
+	Engine() *sim.Engine
+	N() int
+	CPU(i int) *cpu.CPU
+	RegionBase(i int) int64
+	RegionBytes() int64
+	TotalMemory() int64
+	ResetStats()
+}
+
+// Name identifies the machine family.
+func (m *GS1280) Name() string { return "GS1280" }
+
+// Engine reports the machine's simulation engine.
+func (m *GS1280) Engine() *sim.Engine { return m.Eng }
+
+// CPU reports processor i.
+func (m *GS1280) CPU(i int) *cpu.CPU { return m.CPUs[i] }
+
+// Name identifies the machine family (ES45, SC45 or GS320).
+func (m *SMP) Name() string { return m.Cfg.Name }
+
+// Engine reports the machine's simulation engine.
+func (m *SMP) Engine() *sim.Engine { return m.Eng }
+
+// CPU reports processor i.
+func (m *SMP) CPU(i int) *cpu.CPU { return m.CPUs[i] }
+
+var (
+	_ Machine = (*GS1280)(nil)
+	_ Machine = (*SMP)(nil)
+)

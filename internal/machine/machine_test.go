@@ -1,0 +1,271 @@
+package machine
+
+import (
+	"testing"
+
+	"gs1280/internal/cpu"
+	"gs1280/internal/sim"
+	"gs1280/internal/topology"
+	"gs1280/internal/trace"
+)
+
+func runOne(t *testing.T, m Machine, id int, addr int64, write bool) sim.Time {
+	t.Helper()
+	var lat sim.Time = -1
+	m.CPU(id).Run(singleOp(addr, write), nil)
+	m.Engine().Run()
+	st := m.CPU(id).Stats()
+	if st.Ops == 0 {
+		t.Fatalf("op never completed on %s", m.Name())
+	}
+	lat = st.AvgLatency()
+	m.CPU(id).ResetStats()
+	return lat
+}
+
+type opList struct {
+	ops []cpu.Op
+	i   int
+}
+
+func (o *opList) Next() (cpu.Op, bool) {
+	if o.i >= len(o.ops) {
+		return cpu.Op{}, false
+	}
+	op := o.ops[o.i]
+	o.i++
+	return op, true
+}
+
+func singleOp(addr int64, write bool) cpu.Stream {
+	return &opList{ops: []cpu.Op{{Addr: addr, Write: write, Dependent: true}}}
+}
+
+func TestGS1280LocalLatency(t *testing.T) {
+	m := NewGS1280(GS1280Config{W: 4, H: 4})
+	base := m.RegionBase(0)
+	runOne(t, m, 0, base, false)    // cold, warms ctl0
+	runOne(t, m, 0, base+64, false) // warms ctl1
+	lat := runOne(t, m, 0, base+128, false)
+	if lat != 83*sim.Nanosecond {
+		t.Fatalf("GS1280 local open-page latency = %v, want 83ns", lat)
+	}
+}
+
+func TestGS1280RemoteBeatsGS320Remote(t *testing.T) {
+	// The paper's core claim (Fig 12): GS1280 remote latency is about 4x
+	// lower than GS320's at 16 CPUs.
+	gs := NewGS1280(GS1280Config{W: 4, H: 4})
+	base := gs.RegionBase(10)
+	runOne(t, gs, 10, base, false)
+	runOne(t, gs, 10, base+64, false)
+	gsLat := runOne(t, gs, 0, base+128, false)
+
+	old := NewSMP(GS320Config(16))
+	oldBase := old.RegionBase(10) // different QBB than CPU 0
+	oldLat := runOne(t, old, 0, oldBase, false)
+	if ratio := float64(oldLat) / float64(gsLat); ratio < 2.5 {
+		t.Fatalf("GS320 remote %v vs GS1280 remote %v: ratio %.2f, want > 2.5",
+			oldLat, gsLat, ratio)
+	}
+}
+
+func TestSMPLatencies(t *testing.T) {
+	m := NewSMP(GS320Config(16))
+	// Local: CPU 0 reading its own region.
+	local := runOne(t, m, 0, m.RegionBase(0), false)
+	want := m.Cfg.CoreOverhead + m.Cfg.LocalLatency
+	if local != want {
+		t.Fatalf("GS320 local = %v, want %v", local, want)
+	}
+	// Remote: CPU 0 reading CPU 8's region (QBB 2).
+	remote := runOne(t, m, 0, m.RegionBase(8), false)
+	if remote != m.Cfg.CoreOverhead+m.Cfg.RemoteLatency {
+		t.Fatalf("GS320 remote = %v", remote)
+	}
+	// Within-QBB is local: CPU 0 reading CPU 3's region.
+	qbb := runOne(t, m, 0, m.RegionBase(3), false)
+	if qbb != want {
+		t.Fatalf("GS320 intra-QBB = %v, want local %v", qbb, want)
+	}
+}
+
+func TestSMPDirtyPenalty(t *testing.T) {
+	m := NewSMP(GS320Config(16))
+	addr := m.RegionBase(8)
+	runOne(t, m, 4, addr, true) // CPU 4 dirties the line
+	lat := runOne(t, m, 0, addr, false)
+	want := m.Cfg.CoreOverhead + m.Cfg.RemoteLatency + m.Cfg.DirtyExtra
+	if lat != want {
+		t.Fatalf("GS320 remote dirty = %v, want %v", lat, want)
+	}
+	// A second read is clean (and hits nothing locally: CPU 0 already
+	// cached it — so use CPU 1).
+	lat = runOne(t, m, 1, addr, false)
+	if lat != m.Cfg.CoreOverhead+m.Cfg.RemoteLatency {
+		t.Fatalf("GS320 remote clean after read = %v", lat)
+	}
+}
+
+func TestSMPCacheHits(t *testing.T) {
+	m := NewSMP(ES45Config())
+	addr := m.RegionBase(0)
+	runOne(t, m, 0, addr, false)
+	if lat := runOne(t, m, 0, addr, false); lat != m.Cfg.L1Latency {
+		t.Fatalf("ES45 L1 hit = %v", lat)
+	}
+}
+
+func TestGS1280SharedBusVsPrivateMemory(t *testing.T) {
+	// Fig 7's story: four GS1280 CPUs each stream their own memory at
+	// full speed (private Zboxes); four ES45 CPUs contend on one bus.
+	// Compare aggregate completion time of the same per-CPU workload.
+	streamOps := func(base int64) *opList {
+		ops := make([]cpu.Op, 400)
+		for i := range ops {
+			ops[i] = cpu.Op{Addr: base + int64(i)*64}
+		}
+		return &opList{ops: ops}
+	}
+	gs := NewGS1280(GS1280Config{W: 2, H: 2})
+	for i := 0; i < 4; i++ {
+		gs.CPU(i).Run(streamOps(gs.RegionBase(i)), nil)
+	}
+	gs.Eng.Run()
+	gsTime := gs.Eng.Now()
+
+	es := NewSMP(ES45Config())
+	for i := 0; i < 4; i++ {
+		es.CPUs[i].Run(streamOps(es.RegionBase(i)), nil)
+	}
+	es.Eng.Run()
+	esTime := es.Eng.Now()
+
+	if esTime < 2*gsTime {
+		t.Fatalf("shared-bus ES45 (%v) should be much slower than GS1280 (%v) on 4-way streams",
+			esTime, gsTime)
+	}
+}
+
+func TestModulePartners(t *testing.T) {
+	topo := topology.NewTorus(4, 4)
+	p := ModulePartners(topo)
+	for n := range p {
+		if p[p[n]] != topology.NodeID(n) {
+			t.Fatalf("partner not an involution at %d", n)
+		}
+		a, b := topo.Coord(topology.NodeID(n)), topo.Coord(p[n])
+		if a.X != b.X || a.Y/2 != b.Y/2 {
+			t.Fatalf("partner of %v is %v: not the module pair", a, b)
+		}
+	}
+}
+
+func TestStandardShapes(t *testing.T) {
+	for _, c := range []struct{ n, w, h int }{
+		{4, 2, 2}, {8, 4, 2}, {16, 4, 4}, {32, 8, 4}, {64, 8, 8},
+	} {
+		w, h := StandardShape(c.n)
+		if w != c.w || h != c.h {
+			t.Fatalf("shape(%d) = %dx%d, want %dx%d", c.n, w, h, c.w, c.h)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unsupported shape did not panic")
+		}
+	}()
+	StandardShape(7)
+}
+
+func TestStripedMachineBuilds(t *testing.T) {
+	m := NewGS1280(GS1280Config{W: 4, H: 2, Striped: true})
+	// An access to node 0's region at line offset 2 must land on the
+	// partner's Zbox.
+	lat := runOne(t, m, 0, m.RegionBase(0)+128, false)
+	// It crosses one module hop: strictly above local latency.
+	if lat <= 130*sim.Nanosecond {
+		t.Fatalf("striped line-2 access = %v, want remote (> 130ns cold)", lat)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewGS1280(GS1280Config{W: 0, H: 4}) },
+		func() { NewGS1280(GS1280Config{W: 16, H: 16}) }, // > 64 CPUs
+		func() { NewSMP(SMPConfig{}) },
+		func() { GS320Config(64) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid config did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTraceRecordsProtocolTransactions(t *testing.T) {
+	m := NewGS1280(GS1280Config{W: 4, H: 4})
+	buf := trace.New(m.Eng, 1024)
+	buf.Enable()
+	m.SetTrace(buf)
+	// A remote read: request + response. A dirty read: forward too.
+	runOne(t, m, 0, m.RegionBase(5), true) // write at 0, homed at 5
+	if buf.Count(trace.Request) == 0 || buf.Count(trace.Response) == 0 {
+		t.Fatalf("trace missing request/response: %s", buf.Dump())
+	}
+	before := buf.Count(trace.Forward)
+	runOne(t, m, 3, m.RegionBase(5), false) // dirty read -> forward
+	if buf.Count(trace.Forward) != before+1 {
+		t.Fatalf("dirty read did not trace a forward: %s", buf.Dump())
+	}
+}
+
+func TestIOEngineBandwidthBoundedByPort(t *testing.T) {
+	// One node's I/O DMA cannot exceed the 3.1 GB/s port even though the
+	// Zboxes could deliver 12.3.
+	m := NewGS1280(GS1280Config{W: 2, H: 2})
+	io := m.NewIOEngine(0)
+	ops := make([]cpu.Op, 4000)
+	for i := range ops {
+		ops[i] = cpu.Op{Addr: m.RegionBase(0) + int64(i)*64}
+	}
+	start := m.Eng.Now()
+	io.Run(&opList{ops: ops}, nil)
+	m.Eng.Run()
+	elapsed := (m.Eng.Now() - start).Seconds()
+	bw := float64(4000*64) / elapsed
+	if bw > 3.2e9 {
+		t.Fatalf("I/O bandwidth %.2f GB/s exceeds the 3.1 GB/s port", bw/1e9)
+	}
+	if bw < 2.0e9 {
+		t.Fatalf("I/O bandwidth %.2f GB/s far below the port rate", bw/1e9)
+	}
+}
+
+func TestIOEnginesScalePerNode(t *testing.T) {
+	// Fig 28's I/O claim: aggregate I/O bandwidth scales with nodes
+	// because every EV7 has its own port.
+	m := NewGS1280(GS1280Config{W: 2, H: 2})
+	var engines []*cpu.CPU
+	for i := 0; i < 4; i++ {
+		engines = append(engines, m.NewIOEngine(i))
+	}
+	for i, io := range engines {
+		ops := make([]cpu.Op, 2000)
+		for j := range ops {
+			ops[j] = cpu.Op{Addr: m.RegionBase(i) + int64(j)*64}
+		}
+		io.Run(&opList{ops: ops}, nil)
+	}
+	start := m.Eng.Now()
+	m.Eng.Run()
+	elapsed := (m.Eng.Now() - start).Seconds()
+	bw := float64(4*2000*64) / elapsed
+	if bw < 8e9 {
+		t.Fatalf("aggregate I/O %.1f GB/s, want ~4x single port", bw/1e9)
+	}
+}

@@ -1,0 +1,175 @@
+// Package memctrl models one 21364 memory controller (a "Zbox" in the
+// paper's terminology): a Direct Rambus (RDRAM) controller with a fixed
+// data-bus bandwidth and an open-page policy. Each EV7 integrates two; the
+// pair gives the node its 12.3 GB/s peak memory bandwidth (§2).
+//
+// The page model is what produces Fig 5 of the paper: accesses that land in
+// an already-open RDRAM page complete at the CAS latency (~80 ns load-to-use
+// in total), while accesses that miss the open page pay precharge+activate
+// (~130 ns in total). Small strides keep hitting the same 2 KB page; strides
+// past the page size make every access a page miss.
+package memctrl
+
+import (
+	"gs1280/internal/sim"
+)
+
+// Params configures one controller.
+type Params struct {
+	// Bandwidth is the data-bus bandwidth in bytes/second. Each of the two
+	// Zboxes drives four RDRAM channels of 2 bytes at 767 MHz data rate:
+	// 6.15 GB/s.
+	Bandwidth int64
+	// Banks is the number of independent RDRAM banks (each holding one
+	// open page). The paper notes up to 2048 pages can be open per node,
+	// i.e. 1024 per controller.
+	Banks int
+	// PageBytes is the open-page (row) size.
+	PageBytes int64
+	// HitLatency is the access latency when the page is open (CAS).
+	HitLatency sim.Time
+	// MissLatency is the access latency when the page must be closed and
+	// a new row activated (precharge + activate + CAS).
+	MissLatency sim.Time
+	// LineBytes is the transfer size of one access.
+	LineBytes int
+	// MaxOpenPages bounds pages held open per controller. The paper's §2
+	// quotes "up to 2048 pages open simultaneously" machine-wide; per
+	// controller the sustainable number is small, and it is what turns
+	// large-stride access into closed-page access (Fig 5).
+	MaxOpenPages int
+}
+
+// DefaultParams returns the GS1280 Zbox calibration: together with the
+// 23 ns core/L2-miss overhead of the machine model this lands the paper's
+// 83 ns open-page and ~130 ns closed-page local dependent-load latencies.
+func DefaultParams() Params {
+	return Params{
+		Bandwidth:    6_150_000_000,
+		Banks:        1024,
+		PageBytes:    2048,
+		HitLatency:   60 * sim.Nanosecond,
+		MissLatency:  107 * sim.Nanosecond,
+		LineBytes:    64,
+		MaxOpenPages: 16,
+	}
+}
+
+// Controller is one Zbox. It is driven entirely from the simulation engine
+// goroutine; no locking.
+type Controller struct {
+	eng    *sim.Engine
+	params Params
+	bus    *sim.Resource
+	// openRow[bank] is the row currently open in the bank, or -1.
+	openRow []int64
+	// openRing holds the banks with open pages in opening order; when it
+	// exceeds MaxOpenPages the oldest page is closed.
+	openRing []int
+
+	reads, writes, pageHits, pageMisses uint64
+}
+
+// New returns a controller with all pages closed.
+func New(eng *sim.Engine, params Params) *Controller {
+	if params.Bandwidth <= 0 || params.Banks <= 0 || params.PageBytes <= 0 {
+		panic("memctrl: invalid params")
+	}
+	if params.MaxOpenPages <= 0 {
+		panic("memctrl: need at least one open page")
+	}
+	c := &Controller{
+		eng:     eng,
+		params:  params,
+		bus:     sim.NewResource(eng),
+		openRow: make([]int64, params.Banks),
+	}
+	for i := range c.openRow {
+		c.openRow[i] = -1
+	}
+	return c
+}
+
+// Params reports the controller's configuration.
+func (c *Controller) Params() Params { return c.params }
+
+// Access performs one line read or write at addr. done runs when the data
+// has been delivered (read) or committed (write); the argument is the
+// access latency from the call.
+//
+// Latency = queueing on the data bus + page hit/miss access time. The bus
+// is occupied for the line transfer time, bounding sustained bandwidth at
+// Params.Bandwidth.
+func (c *Controller) Access(addr int64, write bool, done func(lat sim.Time)) {
+	issued := c.eng.Now()
+	row := addr / c.params.PageBytes
+	bank := c.bankOf(row)
+
+	access := c.params.HitLatency
+	if c.openRow[bank] == row {
+		c.pageHits++
+	} else {
+		c.pageMisses++
+		access = c.params.MissLatency
+		c.openPage(bank, row)
+	}
+	if write {
+		c.writes++
+	} else {
+		c.reads++
+	}
+
+	transfer := sim.TransferTime(c.params.LineBytes, c.params.Bandwidth)
+	start := c.bus.Acquire(transfer)
+	doneAt := start + access
+	c.eng.At(doneAt, func() { done(doneAt - issued) })
+}
+
+// openPage opens row in bank, closing the oldest open page if the
+// controller is at its open-page limit.
+func (c *Controller) openPage(bank int, row int64) {
+	if c.openRow[bank] == -1 {
+		if len(c.openRing) >= c.params.MaxOpenPages {
+			oldest := c.openRing[0]
+			c.openRing = c.openRing[1:]
+			c.openRow[oldest] = -1
+		}
+		c.openRing = append(c.openRing, bank)
+	}
+	c.openRow[bank] = row
+}
+
+// bankOf hashes a row to a bank. Real RDRAM controllers swizzle address
+// bits so that streams in distinct memory regions do not collide on the
+// same banks; a plain modulo would make any two same-offset streams
+// conflict on every access.
+func (c *Controller) bankOf(row int64) int {
+	r := uint64(row)
+	r ^= r >> 10
+	r ^= r >> 20
+	return int(r % uint64(len(c.openRow)))
+}
+
+// Utilization reports the data-bus busy fraction since the last reset —
+// the quantity the paper's Xmesh tool and Figs 10/11/20/22 display as
+// "memory controller utilization".
+func (c *Controller) Utilization() float64 { return c.bus.Utilization() }
+
+// Reads reports completed read accesses since the last reset.
+func (c *Controller) Reads() uint64 { return c.reads }
+
+// Writes reports completed write accesses since the last reset.
+func (c *Controller) Writes() uint64 { return c.writes }
+
+// PageHits reports open-page accesses since the last reset.
+func (c *Controller) PageHits() uint64 { return c.pageHits }
+
+// PageMisses reports closed-page accesses since the last reset.
+func (c *Controller) PageMisses() uint64 { return c.pageMisses }
+
+// ResetStats clears counters and the utilization interval. Open-page state
+// is preserved: resetting statistics must not change timing.
+func (c *Controller) ResetStats() {
+	c.bus.ResetStats()
+	c.reads, c.writes, c.pageHits, c.pageMisses = 0, 0, 0, 0
+}

@@ -1,0 +1,142 @@
+package network
+
+import (
+	"gs1280/internal/sim"
+	"gs1280/internal/topology"
+)
+
+// link is one direction of a physical inter-processor connection. It
+// serializes packets at the link bandwidth, serving the highest-priority
+// ready class first (the "global arbiter" of the EV7 router output port),
+// and tracks the occupancy of the per-class adaptive virtual channels so
+// the routing stage can steer around congestion.
+type link struct {
+	net  *Network
+	from topology.NodeID
+	edge topology.Edge
+	wire sim.Time
+
+	freeAt sim.Time
+	queues [numClasses][]*Packet
+	queued int
+	// pumpAt is the time of the earliest scheduled pump event, or -1 when
+	// none is pending, so spurious wakeups are never scheduled twice.
+	pumpAt sim.Time
+
+	// adaptiveOcc counts packets per class currently holding an adaptive
+	// VC credit on this link (queued or in flight to the far router).
+	adaptiveOcc [numClasses]int
+
+	// Statistics, resettable by perfmon samplers.
+	busy      sim.Time
+	lastReset sim.Time
+	packets   uint64
+	bytes     uint64
+}
+
+// congestion is the adaptive-routing cost signal for this link: how long a
+// packet enqueued now would wait for the wire, weighted by queue depth so
+// that ties at idle links break toward genuinely empty ones.
+func (l *link) congestion() sim.Time {
+	d := l.freeAt - l.net.eng.Now()
+	if d < 0 {
+		d = 0
+	}
+	return d + sim.Time(l.queued)*l.net.serTime(CtlPacketSize)
+}
+
+// adaptiveFree reports whether the class has an adaptive VC credit left.
+func (l *link) adaptiveFree(c Class) bool {
+	return c.adaptiveAllowed() && l.adaptiveOcc[c] < l.net.params.AdaptiveBufPackets
+}
+
+// enqueue accepts a packet whose routing decision has been made. adaptive
+// indicates the packet holds an adaptive credit (already counted by the
+// caller).
+func (l *link) enqueue(p *Packet) {
+	l.queues[p.Class] = append(l.queues[p.Class], p)
+	l.queued++
+	l.schedulePump(l.net.eng.Now())
+}
+
+// schedulePump arranges for pump to run no later than t, coalescing with
+// any earlier pending pump.
+func (l *link) schedulePump(t sim.Time) {
+	if t < l.net.eng.Now() {
+		t = l.net.eng.Now()
+	}
+	if l.pumpAt >= 0 && l.pumpAt <= t {
+		return
+	}
+	l.pumpAt = t
+	l.net.eng.At(t, l.pump)
+}
+
+// pump transmits the best ready packet, if the wire is free.
+func (l *link) pump() {
+	l.pumpAt = -1
+	now := l.net.eng.Now()
+	if l.freeAt > now {
+		if l.queued > 0 {
+			l.schedulePump(l.freeAt)
+		}
+		return
+	}
+	p := l.pop()
+	if p == nil {
+		return
+	}
+	ser := l.net.serTime(p.Size)
+	l.freeAt = now + ser
+	l.busy += ser
+	l.packets++
+	l.bytes += uint64(p.Size)
+	// Cut-through: the head reaches the far router after the wire delay;
+	// the tail still occupies this link until freeAt.
+	l.net.eng.After(l.wire, func() { l.net.arrive(p, l) })
+	if l.queued > 0 {
+		l.schedulePump(l.freeAt)
+	}
+}
+
+// pop removes the highest-priority head packet, FIFO within a class.
+func (l *link) pop() *Packet {
+	best := -1
+	bestPrio := -1
+	for c := 0; c < int(numClasses); c++ {
+		if len(l.queues[c]) == 0 {
+			continue
+		}
+		if prio := Class(c).priority(); prio > bestPrio {
+			bestPrio = prio
+			best = c
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	p := l.queues[best][0]
+	l.queues[best] = l.queues[best][1:]
+	l.queued--
+	return p
+}
+
+// Utilization reports busy fraction since the last stats reset.
+func (l *link) utilization() float64 {
+	elapsed := l.net.eng.Now() - l.lastReset
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(l.busy) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+func (l *link) resetStats() {
+	l.busy = 0
+	l.packets = 0
+	l.bytes = 0
+	l.lastReset = l.net.eng.Now()
+}

@@ -1,0 +1,272 @@
+package network
+
+import (
+	"fmt"
+
+	"gs1280/internal/sim"
+	"gs1280/internal/topology"
+)
+
+// Params sets the timing and buffering of the interconnect. DefaultParams
+// returns values calibrated to the paper's GS1280 measurements (§3.4,
+// Fig 13): with a 13 ns router pipeline, 7/6 ns injection/ejection and
+// module/board/cable wire delays of 2/5/9.5 ns, a 1-hop read round trip
+// adds 56/62/71 ns to the 83 ns local latency — the paper's 139/145/154 ns.
+type Params struct {
+	// RouterLatency is the pipeline delay through a router hop.
+	RouterLatency sim.Time
+	// InjectLatency is cache-miss-to-router insertion delay at the source.
+	InjectLatency sim.Time
+	// EjectLatency is router-to-destination delivery delay.
+	EjectLatency sim.Time
+	// WireModule/WireBoard/WireCable are per-link-class propagation delays.
+	WireModule, WireBoard, WireCable sim.Time
+	// LinkBandwidth is per-direction link bandwidth in bytes/second
+	// (3.1 GB/s on the GS1280).
+	LinkBandwidth int64
+	// AdaptiveBufPackets is the adaptive-VC credit per link per class.
+	AdaptiveBufPackets int
+	// DisableAdaptive forces every packet onto the deterministic escape
+	// path (for ablation studies of the adaptive channel).
+	DisableAdaptive bool
+	// Policy restricts shuffle-link use (Fig 18's 1-hop/2-hop schemes).
+	Policy topology.RoutePolicy
+}
+
+// DefaultParams returns the GS1280 calibration.
+func DefaultParams() Params {
+	return Params{
+		RouterLatency:      13 * sim.Nanosecond,
+		InjectLatency:      7 * sim.Nanosecond,
+		EjectLatency:       6 * sim.Nanosecond,
+		WireModule:         2 * sim.Nanosecond,
+		WireBoard:          5 * sim.Nanosecond,
+		WireCable:          9500 * sim.Picosecond,
+		LinkBandwidth:      3_100_000_000,
+		AdaptiveBufPackets: 4,
+		Policy:             topology.RouteAdaptive,
+	}
+}
+
+// Network is the torus interconnect of one simulated machine.
+type Network struct {
+	eng    *sim.Engine
+	topo   *topology.Topology
+	params Params
+	// links[n][i] drives topo.Neighbors(n)[i].
+	links [][]*link
+
+	// delivered/injected counters for sanity accounting.
+	injected, delivered uint64
+}
+
+// New builds the interconnect for topo on eng.
+func New(eng *sim.Engine, topo *topology.Topology, params Params) *Network {
+	if params.LinkBandwidth <= 0 {
+		panic("network: non-positive link bandwidth")
+	}
+	if params.AdaptiveBufPackets < 1 {
+		panic("network: need at least one adaptive buffer")
+	}
+	n := &Network{eng: eng, topo: topo, params: params}
+	n.links = make([][]*link, topo.N())
+	for id := 0; id < topo.N(); id++ {
+		edges := topo.Neighbors(topology.NodeID(id))
+		row := make([]*link, len(edges))
+		for i, e := range edges {
+			row[i] = &link{
+				net:    n,
+				from:   topology.NodeID(id),
+				edge:   e,
+				wire:   n.wireLatency(e.Class),
+				pumpAt: -1,
+			}
+		}
+		n.links[id] = row
+	}
+	return n
+}
+
+// Topology reports the graph the network is built on.
+func (n *Network) Topology() *topology.Topology { return n.topo }
+
+// Params reports the active configuration.
+func (n *Network) Params() Params { return n.params }
+
+func (n *Network) wireLatency(c topology.LinkClass) sim.Time {
+	switch c {
+	case topology.ModuleLink:
+		return n.params.WireModule
+	case topology.BoardLink:
+		return n.params.WireBoard
+	default:
+		return n.params.WireCable
+	}
+}
+
+func (n *Network) serTime(size int) sim.Time {
+	return sim.TransferTime(size, n.params.LinkBandwidth)
+}
+
+// Send injects p at p.Src. Local-destination packets are delivered after
+// the loopback (inject+eject) delay without touching any link, matching the
+// on-chip path between the cache and the local Zboxes.
+func (n *Network) Send(p *Packet) {
+	if p.OnDeliver == nil {
+		panic("network: packet without OnDeliver")
+	}
+	if p.Size <= 0 {
+		panic("network: packet without size")
+	}
+	p.injectedAt = n.eng.Now()
+	n.injected++
+	if p.Src == p.Dst {
+		n.eng.After(n.params.InjectLatency+n.params.EjectLatency, func() { n.deliver(p) })
+		return
+	}
+	// The packet pays one router pipeline per link it will traverse; the
+	// source router's pipeline is charged here, intermediate ones on
+	// arrival.
+	n.eng.After(n.params.InjectLatency+n.params.RouterLatency, func() { n.route(p, p.Src) })
+}
+
+// route picks the output link at node cur and enqueues the packet. It is
+// called after the router pipeline delay has elapsed.
+func (n *Network) route(p *Packet, cur topology.NodeID) {
+	hops := n.topo.NextHopsPolicy(cur, p.Dst, n.params.Policy, p.Hops)
+	// Adaptive channel: among minimal hops with a free adaptive credit,
+	// take the least congested. The scan order is deterministic, so ties
+	// resolve identically run to run.
+	var chosen *link
+	var chosenCong sim.Time
+	if n.params.DisableAdaptive {
+		hops = hops[:1]
+	}
+	for _, e := range hops {
+		l := n.linkFor(cur, e)
+		if !l.adaptiveFree(p.Class) {
+			continue
+		}
+		if c := l.congestion(); chosen == nil || c < chosenCong {
+			chosen, chosenCong = l, c
+		}
+	}
+	if chosen != nil {
+		chosen.adaptiveOcc[p.Class]++
+		p.adaptiveOn = chosen
+	} else {
+		// Escape (deadlock-free) channel: deterministic dimension-ordered
+		// choice — the first minimal hop in the canonical N,S,E,W order.
+		chosen = n.linkFor(cur, hops[0])
+		p.adaptiveOn = nil
+	}
+	chosen.enqueue(p)
+}
+
+// arrive runs when the packet head reaches the far end of l.
+func (n *Network) arrive(p *Packet, l *link) {
+	if p.adaptiveOn == l {
+		l.adaptiveOcc[p.Class]--
+		p.adaptiveOn = nil
+	}
+	p.Hops++
+	here := l.edge.To
+	if here == p.Dst {
+		n.eng.After(n.params.EjectLatency, func() { n.deliver(p) })
+		return
+	}
+	n.eng.After(n.params.RouterLatency, func() { n.route(p, here) })
+}
+
+func (n *Network) deliver(p *Packet) {
+	n.delivered++
+	p.OnDeliver()
+}
+
+func (n *Network) linkFor(cur topology.NodeID, e topology.Edge) *link {
+	for i, cand := range n.topo.Neighbors(cur) {
+		if cand.To == e.To && cand.Dir == e.Dir {
+			return n.links[cur][i]
+		}
+	}
+	panic(fmt.Sprintf("network: no link at node %d toward %d via %v", cur, e.To, e.Dir))
+}
+
+// Injected reports packets accepted so far.
+func (n *Network) Injected() uint64 { return n.injected }
+
+// Delivered reports packets fully delivered so far.
+func (n *Network) Delivered() uint64 { return n.delivered }
+
+// InFlight reports packets injected but not yet delivered.
+func (n *Network) InFlight() uint64 { return n.injected - n.delivered }
+
+// LinkStat is a utilization snapshot of one directed link.
+type LinkStat struct {
+	From, To    topology.NodeID
+	Dir         topology.Dir
+	Class       topology.LinkClass
+	Utilization float64
+	Packets     uint64
+	Bytes       uint64
+}
+
+// LinkStats reports a snapshot for every directed link, in deterministic
+// (node, adjacency) order.
+func (n *Network) LinkStats() []LinkStat {
+	var out []LinkStat
+	for id := range n.links {
+		for _, l := range n.links[id] {
+			out = append(out, LinkStat{
+				From:        l.from,
+				To:          l.edge.To,
+				Dir:         l.edge.Dir,
+				Class:       l.edge.Class,
+				Utilization: l.utilization(),
+				Packets:     l.packets,
+				Bytes:       l.bytes,
+			})
+		}
+	}
+	return out
+}
+
+// NodeLinkUtilization reports the mean utilization of the outgoing links of
+// node id, and separately the mean of its vertical (N/S) and horizontal
+// (E/W + shuffle) links — the split Fig 24 plots for GUPS.
+func (n *Network) NodeLinkUtilization(id topology.NodeID) (avg, ns, ew float64) {
+	var nsSum, ewSum, sum float64
+	var nsCnt, ewCnt int
+	for _, l := range n.links[id] {
+		u := l.utilization()
+		sum += u
+		switch l.edge.Dir {
+		case topology.North, topology.South:
+			nsSum += u
+			nsCnt++
+		default:
+			ewSum += u
+			ewCnt++
+		}
+	}
+	if len(n.links[id]) > 0 {
+		avg = sum / float64(len(n.links[id]))
+	}
+	if nsCnt > 0 {
+		ns = nsSum / float64(nsCnt)
+	}
+	if ewCnt > 0 {
+		ew = ewSum / float64(ewCnt)
+	}
+	return avg, ns, ew
+}
+
+// ResetStats clears all link counters; samplers call it at interval
+// boundaries.
+func (n *Network) ResetStats() {
+	for id := range n.links {
+		for _, l := range n.links[id] {
+			l.resetStats()
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package network simulates the GS1280 inter-processor interconnect: the
+// EV7 router (§2 of the paper) with per-class virtual channels, two-level
+// arbitration approximated by per-output-port priority queues, and minimal
+// adaptive routing with a deterministic dimension-ordered escape path.
+//
+// The model is per-packet cut-through: a hop costs a fixed router pipeline
+// latency plus the wire latency of the link class (module trace, backplane,
+// or cable), while the packet's serialization time occupies the link for
+// bandwidth accounting. Responses are prioritized over Forwards over
+// Requests, mirroring the coherence-protocol channel ordering that lets the
+// 21364 drain Responses independently of Requests.
+package network
+
+import (
+	"gs1280/internal/sim"
+	"gs1280/internal/topology"
+)
+
+// Class is a coherence-protocol packet class. Each class travels in its own
+// set of virtual channels so that, as the paper puts it, "a Response packet
+// can never block behind a Request packet".
+type Class int
+
+const (
+	// Request carries a read/read-modify request toward a directory.
+	Request Class = iota
+	// Forward carries a directory-initiated forward or invalidate.
+	Forward
+	// Response carries data or completion acknowledgements.
+	Response
+	// IO carries I/O traffic; it may not use the adaptive channel.
+	IO
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case Request:
+		return "request"
+	case Forward:
+		return "forward"
+	case Response:
+		return "response"
+	case IO:
+		return "io"
+	}
+	return "Class(?)"
+}
+
+// priority orders classes at an output port; higher drains first. The
+// coherence dependence chain is Request -> Forward -> Response, so the
+// deeper a class sits in the chain the higher its priority must be for the
+// network to guarantee forward progress.
+func (c Class) priority() int {
+	switch c {
+	case Response:
+		return 3
+	case Forward:
+		return 2
+	case Request:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// adaptiveAllowed reports whether the class may use the adaptive virtual
+// channel. I/O packets are restricted to the deterministic channels.
+func (c Class) adaptiveAllowed() bool { return c != IO }
+
+// Packet is one message in flight. Callers populate the routing fields and
+// OnDeliver; the network owns the rest.
+type Packet struct {
+	Src, Dst topology.NodeID
+	Class    Class
+	// Size is the packet size in bytes including header, used for link
+	// occupancy (a data response carrying a 64-byte block is 72 bytes, a
+	// request 24).
+	Size int
+	// OnDeliver runs at the destination once the packet has been ejected.
+	OnDeliver func()
+
+	// Hops counts links traversed so far; routing policies that restrict
+	// shuffle links to the first hops consult it.
+	Hops int
+	// injectedAt stamps entry into the network for latency accounting.
+	injectedAt sim.Time
+	// adaptiveOn remembers the link whose adaptive-channel credit this
+	// packet holds, so arrival can release it.
+	adaptiveOn *link
+}
+
+// Common packet sizes in bytes. The EV7 moves 64-byte cache blocks; control
+// packets are a few flits.
+const (
+	CtlPacketSize  = 24 // request, forward, invalidate, ack
+	DataPacketSize = 72 // 64-byte block + header
+)

@@ -1,0 +1,146 @@
+// Package perfmon reproduces the paper's profiling infrastructure: the
+// EV7's built-in, non-intrusive performance counters and the Xmesh tool
+// built on them (§1, Fig 27). A Sampler periodically snapshots every
+// node's memory-controller and inter-processor-link utilization; Render
+// draws a snapshot as the text analogue of the Xmesh display, which is how
+// the paper detects hot spots and poor memory locality.
+package perfmon
+
+import (
+	"fmt"
+	"strings"
+
+	"gs1280/internal/machine"
+	"gs1280/internal/sim"
+	"gs1280/internal/topology"
+)
+
+// NodeSample is one CPU's utilization at a sample boundary.
+type NodeSample struct {
+	// Zbox is the mean utilization of the node's two memory controllers.
+	Zbox float64
+	// LinkAvg is the mean utilization of the node's outgoing IP links;
+	// LinkNS and LinkEW split it by direction (Fig 24 plots them
+	// separately for GUPS).
+	LinkAvg, LinkNS, LinkEW float64
+}
+
+// Snapshot is a machine-wide utilization sample.
+type Snapshot struct {
+	At    sim.Time
+	Nodes []NodeSample
+}
+
+// AvgZbox reports the machine-mean memory controller utilization.
+func (s Snapshot) AvgZbox() float64 {
+	sum := 0.0
+	for _, n := range s.Nodes {
+		sum += n.Zbox
+	}
+	return sum / float64(len(s.Nodes))
+}
+
+// AvgLink reports the machine-mean IP link utilization.
+func (s Snapshot) AvgLink() float64 {
+	sum := 0.0
+	for _, n := range s.Nodes {
+		sum += n.LinkAvg
+	}
+	return sum / float64(len(s.Nodes))
+}
+
+// AvgNS and AvgEW report direction-split link means.
+func (s Snapshot) AvgNS() float64 {
+	sum := 0.0
+	for _, n := range s.Nodes {
+		sum += n.LinkNS
+	}
+	return sum / float64(len(s.Nodes))
+}
+
+// AvgEW reports the machine-mean East/West link utilization.
+func (s Snapshot) AvgEW() float64 {
+	sum := 0.0
+	for _, n := range s.Nodes {
+		sum += n.LinkEW
+	}
+	return sum / float64(len(s.Nodes))
+}
+
+// HottestZbox reports the node with the highest memory utilization — the
+// hot-spot detector of Fig 27.
+func (s Snapshot) HottestZbox() (node int, util float64) {
+	node = -1
+	for i, n := range s.Nodes {
+		if n.Zbox > util || node < 0 {
+			node, util = i, n.Zbox
+		}
+	}
+	return node, util
+}
+
+// Sampler collects snapshots from a GS1280 at a fixed interval,
+// resetting the counters at each boundary so every snapshot covers
+// exactly one interval.
+type Sampler struct {
+	m         *machine.GS1280
+	interval  sim.Time
+	Snapshots []Snapshot
+}
+
+// NewSampler builds a sampler; call Schedule to arm it.
+func NewSampler(m *machine.GS1280, interval sim.Time) *Sampler {
+	if interval <= 0 {
+		panic("perfmon: non-positive sampling interval")
+	}
+	return &Sampler{m: m, interval: interval}
+}
+
+// Schedule arms n samples starting one interval from now, and resets the
+// counters so the first sample covers a clean interval. A fixed count
+// keeps the simulation's event queue finite.
+func (s *Sampler) Schedule(n int) {
+	eng := s.m.Engine()
+	s.m.Coh.ResetStats()
+	s.m.Net.ResetStats()
+	for i := 1; i <= n; i++ {
+		eng.After(sim.Time(i)*s.interval, s.capture)
+	}
+}
+
+func (s *Sampler) capture() {
+	snap := Snapshot{At: s.m.Engine().Now()}
+	for i := 0; i < s.m.N(); i++ {
+		id := topology.NodeID(i)
+		avg, ns, ew := s.m.Net.NodeLinkUtilization(id)
+		snap.Nodes = append(snap.Nodes, NodeSample{
+			Zbox:    s.m.Coh.ZboxUtilization(id),
+			LinkAvg: avg,
+			LinkNS:  ns,
+			LinkEW:  ew,
+		})
+	}
+	s.Snapshots = append(s.Snapshots, snap)
+	s.m.Coh.ResetStats()
+	s.m.Net.ResetStats()
+}
+
+// Render draws a snapshot as an Xmesh-style grid: one cell per CPU
+// showing memory-controller and link utilization percentages.
+func Render(topo *topology.Topology, snap Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Xmesh @ %v  (cell: Zbox%% | IP-link%%)\n", snap.At)
+	hline := strings.Repeat("+---------", topo.W) + "+\n"
+	for y := 0; y < topo.H; y++ {
+		b.WriteString(hline)
+		for x := 0; x < topo.W; x++ {
+			n := snap.Nodes[int(topo.Node(topology.Coord{X: x, Y: y}))]
+			fmt.Fprintf(&b, "|%3.0f%%|%3.0f%%", n.Zbox*100, n.LinkAvg*100)
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteString(hline)
+	node, util := snap.HottestZbox()
+	fmt.Fprintf(&b, "hottest Zbox: CPU%d at %.0f%%\n", node, util*100)
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package perfmon
+
+import (
+	"strings"
+	"testing"
+
+	"gs1280/internal/cpu"
+	"gs1280/internal/machine"
+	"gs1280/internal/sim"
+	"gs1280/internal/workload"
+)
+
+func TestSamplerCapturesUtilization(t *testing.T) {
+	m := machine.NewGS1280(machine.GS1280Config{W: 4, H: 2})
+	s := NewSampler(m, 10*sim.Microsecond)
+	streams := make([]cpu.Stream, m.N())
+	for i := range streams {
+		streams[i] = workload.NewGUPS(0, m.TotalMemory(), 1_000_000, uint64(i+1))
+	}
+	for i, st := range streams {
+		m.CPU(i).Run(st, nil)
+	}
+	s.Schedule(5)
+	m.Engine().RunUntil(55 * sim.Microsecond)
+
+	if len(s.Snapshots) != 5 {
+		t.Fatalf("snapshots = %d, want 5", len(s.Snapshots))
+	}
+	snap := s.Snapshots[2]
+	if len(snap.Nodes) != 8 {
+		t.Fatalf("nodes = %d", len(snap.Nodes))
+	}
+	if snap.AvgZbox() <= 0 || snap.AvgZbox() > 1 {
+		t.Fatalf("zbox util = %v, want (0,1]", snap.AvgZbox())
+	}
+	if snap.AvgLink() <= 0 {
+		t.Fatal("GUPS produced no link utilization")
+	}
+}
+
+func TestHotSpotDetection(t *testing.T) {
+	// All CPUs hammer CPU0's memory: Xmesh must report CPU0 as hottest
+	// (Fig 27).
+	m := machine.NewGS1280(machine.GS1280Config{W: 4, H: 2})
+	s := NewSampler(m, 25*sim.Microsecond)
+	for i := 1; i < m.N(); i++ {
+		m.CPU(i).Run(workload.NewHotSpot(m.RegionBase(0), m.RegionBytes(), 1_000_000, uint64(i)), nil)
+	}
+	s.Schedule(2)
+	m.Engine().RunUntil(55 * sim.Microsecond)
+	node, util := s.Snapshots[1].HottestZbox()
+	if node != 0 {
+		t.Fatalf("hottest node = %d, want 0", node)
+	}
+	if util < 0.3 {
+		t.Fatalf("hot spot utilization = %.2f, want substantial", util)
+	}
+}
+
+func TestRenderContainsGridAndHotspot(t *testing.T) {
+	m := machine.NewGS1280(machine.GS1280Config{W: 4, H: 2})
+	s := NewSampler(m, 10*sim.Microsecond)
+	for i := 1; i < m.N(); i++ {
+		m.CPU(i).Run(workload.NewHotSpot(m.RegionBase(0), m.RegionBytes(), 100_000, uint64(i)), nil)
+	}
+	s.Schedule(1)
+	m.Engine().RunUntil(15 * sim.Microsecond)
+	out := Render(m.Topo, s.Snapshots[0])
+	if !strings.Contains(out, "Xmesh") || !strings.Contains(out, "hottest Zbox: CPU0") {
+		t.Fatalf("render output missing pieces:\n%s", out)
+	}
+	if strings.Count(out, "%") < 16 {
+		t.Fatalf("render missing cells:\n%s", out)
+	}
+}
+
+func TestSamplerIntervalsIndependent(t *testing.T) {
+	// Utilization must reflect only the last interval: idle after a busy
+	// phase shows ~0.
+	m := machine.NewGS1280(machine.GS1280Config{W: 2, H: 2})
+	s := NewSampler(m, 50*sim.Microsecond)
+	m.CPU(0).Run(workload.NewTriad(m.RegionBase(0), 1<<20, 2), nil)
+	s.Schedule(40)
+	m.Engine().Run() // triad finishes, samples continue on schedule
+	last := s.Snapshots[len(s.Snapshots)-1]
+	if last.AvgZbox() > 0.01 {
+		t.Fatalf("idle interval shows %.2f zbox utilization", last.AvgZbox())
+	}
+	first := s.Snapshots[0]
+	if first.AvgZbox() <= 0.01 {
+		t.Fatalf("busy interval shows no utilization")
+	}
+}
+
+func TestNewSamplerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero interval did not panic")
+		}
+	}()
+	NewSampler(machine.NewGS1280(machine.GS1280Config{W: 2, H: 2}), 0)
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. seq breaks ties between events scheduled
+// for the same instant so execution order equals scheduling order, which
+// keeps the whole simulation deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event scheduler. The zero value is
+// ready to use. Engine is not safe for concurrent use; a simulation is a
+// single goroutine by design.
+type Engine struct {
+	heap     eventHeap
+	now      Time
+	seq      uint64
+	executed uint64
+	stopped  bool
+}
+
+// NewEngine returns a fresh engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed reports how many events have run so far. Useful in tests and for
+// progress accounting.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending reports how many events are scheduled but not yet executed.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a model bug, and silently clamping would hide it.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time. Negative delays panic.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step executes the single next event. It reports false when no events
+// remain or Stop has been called.
+func (e *Engine) Step() bool {
+	if e.stopped || len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(event)
+	e.now = ev.at
+	e.executed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t (if it is ahead of the last event). Events scheduled beyond t remain
+// queued so the simulation can be resumed.
+func (e *Engine) RunUntil(t Time) {
+	for !e.stopped && len(e.heap) > 0 && e.heap[0].at <= t {
+		e.Step()
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+}
+
+// Stop halts Run/RunUntil after the current event returns. Pending events
+// stay queued; a subsequent Resume allows execution to continue.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Resume clears a previous Stop.
+func (e *Engine) Resume() { e.stopped = false }
+
+// Stopped reports whether Stop has been called without a matching Resume.
+func (e *Engine) Stopped() bool { return e.stopped }

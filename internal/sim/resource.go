@@ -1,0 +1,84 @@
+package sim
+
+// Resource models a serially-occupied unit (a link direction, a memory
+// channel, a switch port): at most one transfer is in service at a time and
+// waiters are served FIFO. It is intentionally tiny — a "next free time"
+// register — because that is all per-packet cut-through modeling needs, and
+// it keeps the hot path allocation-free.
+type Resource struct {
+	eng    *Engine
+	freeAt Time
+	// busy accumulates total occupied time for utilization accounting.
+	busy Time
+	// lastReset remembers when counters were last cleared so samplers can
+	// compute utilization over an interval.
+	lastReset Time
+}
+
+// NewResource returns a resource bound to the engine, free immediately.
+func NewResource(eng *Engine) *Resource {
+	return &Resource{eng: eng}
+}
+
+// Acquire reserves the resource for dur starting no earlier than now and no
+// earlier than the end of the previous reservation. It returns the time at
+// which service starts; the caller's transfer completes at start+dur.
+func (r *Resource) Acquire(dur Time) (start Time) {
+	start = r.eng.Now()
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	r.freeAt = start + dur
+	r.busy += dur
+	return start
+}
+
+// AcquireAt is like Acquire but the reservation may not begin before t
+// (e.g. a packet that arrives at a router at a known future instant).
+func (r *Resource) AcquireAt(t Time, dur Time) (start Time) {
+	start = t
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	r.freeAt = start + dur
+	r.busy += dur
+	return start
+}
+
+// FreeAt reports when the resource next becomes free. Adaptive routing uses
+// this as its congestion signal.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// QueueDelay reports how long a request issued now would wait before
+// service begins.
+func (r *Resource) QueueDelay() Time {
+	if d := r.freeAt - r.eng.Now(); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// BusyTime reports accumulated service time since the last ResetStats.
+func (r *Resource) BusyTime() Time { return r.busy }
+
+// Utilization reports busy time as a fraction of elapsed time since the
+// last ResetStats. It is clamped to [0, 1]: reservations extending past the
+// current instant would otherwise overcount.
+func (r *Resource) Utilization() float64 {
+	elapsed := r.eng.Now() - r.lastReset
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(r.busy) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// ResetStats clears the busy counter and marks the start of a new
+// accounting interval.
+func (r *Resource) ResetStats() {
+	r.busy = 0
+	r.lastReset = r.eng.Now()
+}

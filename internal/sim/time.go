@@ -1,0 +1,91 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All simulated time is expressed in picoseconds via the Time type. The
+// engine executes events in (time, schedule-order) order, so two runs with
+// the same inputs produce identical event sequences. Components built on the
+// engine (routers, memory controllers, caches) therefore never need locks:
+// the entire simulation is single-threaded by construction.
+package sim
+
+import "fmt"
+
+// Time is a point in simulated time, measured in integer picoseconds.
+// Picoseconds give headroom to represent sub-nanosecond clocks (the EV7 core
+// cycle is 869 ps) without rounding while still covering >100 days of
+// simulated time in an int64.
+type Time int64
+
+// Duration constants. A Duration and a Time share the same representation;
+// keeping a single type avoids conversion noise in hot paths.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Forever is a sentinel Time later than any reachable simulation instant.
+const Forever Time = 1<<63 - 1
+
+// Nanoseconds reports t as a float64 number of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds reports t as a float64 number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Seconds reports t as a float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the time with an adaptive unit, e.g. "83ns" or "1.25us".
+func (t Time) String() string {
+	switch {
+	case t == Forever:
+		return "forever"
+	case t < 0:
+		return "-" + (-t).String()
+	case t < Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond:
+		return trimUnit(float64(t)/float64(Nanosecond), "ns")
+	case t < Millisecond:
+		return trimUnit(float64(t)/float64(Microsecond), "us")
+	case t < Second:
+		return trimUnit(float64(t)/float64(Millisecond), "ms")
+	default:
+		return trimUnit(float64(t)/float64(Second), "s")
+	}
+}
+
+func trimUnit(v float64, unit string) string {
+	s := fmt.Sprintf("%.3f", v)
+	// Trim trailing zeros and a dangling decimal point.
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s + unit
+}
+
+// Cycles converts a cycle count at the given frequency (Hz) into a Time.
+// The conversion truncates toward zero; at 1.15 GHz one cycle is 869 ps.
+func Cycles(n int64, hz int64) Time {
+	return Time(n * (int64(Second) / hz))
+}
+
+// TransferTime reports how long a transfer of size bytes occupies a link or
+// port with the given bandwidth in bytes per second. It rounds up so that
+// back-to-back transfers can never exceed the nominal bandwidth.
+func TransferTime(size int, bytesPerSec int64) Time {
+	if size <= 0 || bytesPerSec <= 0 {
+		return 0
+	}
+	num := int64(size) * int64(Second)
+	t := num / bytesPerSec
+	if num%bytesPerSec != 0 {
+		t++
+	}
+	return Time(t)
+}

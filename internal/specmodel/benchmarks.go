@@ -1,0 +1,63 @@
+package specmodel
+
+// FP2000 returns the calibrated SPECfp2000 traits. Calibration sources:
+// the IPC bars of Fig 8, the memory-controller utilization of Fig 10, and
+// the paper's narrative (swim 2.3x/4x advantages; facerec fitting in 8 MB
+// but not 1.75 MB; ammp favoring the 16 MB off-chip caches).
+func FP2000() []Benchmark {
+	return []Benchmark{
+		{Name: "wupwise", BaseIPC: 1.60, MPKI175: 4.0, MPKI8: 2.5, MPKI16: 1.5, OverlapFactor: 1.0, TargetUtil: 0.13, Shape: ShapeFlat},
+		{Name: "swim", BaseIPC: 1.50, MPKI175: 25.0, MPKI8: 24.5, MPKI16: 24.0, OverlapFactor: 1.0, TargetUtil: 0.53, Shape: ShapeFlat},
+		{Name: "mgrid", BaseIPC: 1.50, MPKI175: 10.0, MPKI8: 8.0, MPKI16: 6.0, OverlapFactor: 1.0, TargetUtil: 0.25, Shape: ShapeHumps},
+		{Name: "applu", BaseIPC: 1.40, MPKI175: 13.0, MPKI8: 11.0, MPKI16: 9.0, OverlapFactor: 1.0, TargetUtil: 0.30, Shape: ShapeHumps},
+		{Name: "mesa", BaseIPC: 1.50, MPKI175: 1.0, MPKI8: 0.7, MPKI16: 0.5, OverlapFactor: 1.0, TargetUtil: 0.02, Shape: ShapeFlat},
+		{Name: "galgel", BaseIPC: 1.45, MPKI175: 6.0, MPKI8: 3.5, MPKI16: 2.0, OverlapFactor: 1.0, TargetUtil: 0.12, Shape: ShapeRamp},
+		{Name: "art", BaseIPC: 0.90, MPKI175: 12.0, MPKI8: 7.0, MPKI16: 6.0, OverlapFactor: 1.0, TargetUtil: 0.15, Shape: ShapeFlat},
+		{Name: "equake", BaseIPC: 1.30, MPKI175: 16.0, MPKI8: 13.0, MPKI16: 11.0, OverlapFactor: 1.0, TargetUtil: 0.25, Shape: ShapeRamp},
+		// facerec: the paper's example of a GS1280 loss — the dataset fits
+		// an 8 MB cache but not 1.75 MB, so GS1280 goes to memory while
+		// ES45/GS320 hit their off-chip caches.
+		{Name: "facerec", BaseIPC: 1.40, MPKI175: 12.0, MPKI8: 0.8, MPKI16: 0.5, OverlapFactor: 1.0, TargetUtil: 0.08, Shape: ShapeFlat},
+		{Name: "ammp", BaseIPC: 0.80, MPKI175: 5.0, MPKI8: 1.5, MPKI16: 0.6, OverlapFactor: 0.7, TargetUtil: 0.05, Shape: ShapeFlat},
+		{Name: "lucas", BaseIPC: 1.40, MPKI175: 15.0, MPKI8: 13.0, MPKI16: 11.0, OverlapFactor: 1.0, TargetUtil: 0.28, Shape: ShapeHumps},
+		{Name: "fma3d", BaseIPC: 1.30, MPKI175: 8.0, MPKI8: 6.5, MPKI16: 5.0, OverlapFactor: 1.0, TargetUtil: 0.17, Shape: ShapeFlat},
+		{Name: "sixtrack", BaseIPC: 1.60, MPKI175: 1.0, MPKI8: 0.7, MPKI16: 0.5, OverlapFactor: 1.0, TargetUtil: 0.02, Shape: ShapeFlat},
+		{Name: "apsi", BaseIPC: 1.30, MPKI175: 4.0, MPKI8: 3.0, MPKI16: 2.0, OverlapFactor: 1.0, TargetUtil: 0.06, Shape: ShapeFlat},
+	}
+}
+
+// Int2000 returns the calibrated SPECint2000 traits. The integer codes
+// mostly fit MB-size caches (the paper's reason for using fp for
+// bandwidth comparisons); mcf is the exception, with high MPKI and poor
+// miss overlap.
+func Int2000() []Benchmark {
+	return []Benchmark{
+		{Name: "gzip", Int: true, BaseIPC: 1.20, MPKI175: 0.8, MPKI8: 0.5, MPKI16: 0.3, OverlapFactor: 0.5, TargetUtil: 0.02, Shape: ShapeHumps},
+		{Name: "vpr", Int: true, BaseIPC: 0.90, MPKI175: 2.0, MPKI8: 1.2, MPKI16: 0.8, OverlapFactor: 0.4, TargetUtil: 0.03, Shape: ShapeFlat},
+		{Name: "gcc", Int: true, BaseIPC: 1.10, MPKI175: 2.5, MPKI8: 1.6, MPKI16: 1.2, OverlapFactor: 0.5, TargetUtil: 0.05, Shape: ShapeSpike},
+		{Name: "mcf", Int: true, BaseIPC: 0.60, MPKI175: 35.0, MPKI8: 20.0, MPKI16: 15.0, OverlapFactor: 0.35, TargetUtil: 0.24, Shape: ShapeFlat},
+		{Name: "crafty", Int: true, BaseIPC: 1.40, MPKI175: 0.3, MPKI8: 0.2, MPKI16: 0.1, OverlapFactor: 0.6, TargetUtil: 0.01, Shape: ShapeFlat},
+		{Name: "parser", Int: true, BaseIPC: 1.00, MPKI175: 1.5, MPKI8: 0.9, MPKI16: 0.6, OverlapFactor: 0.4, TargetUtil: 0.03, Shape: ShapeFlat},
+		{Name: "eon", Int: true, BaseIPC: 1.30, MPKI175: 0.2, MPKI8: 0.1, MPKI16: 0.1, OverlapFactor: 0.8, TargetUtil: 0.01, Shape: ShapeFlat},
+		{Name: "gap", Int: true, BaseIPC: 1.00, MPKI175: 3.0, MPKI8: 2.0, MPKI16: 1.5, OverlapFactor: 0.6, TargetUtil: 0.08, Shape: ShapeHumps},
+		{Name: "perlbmk", Int: true, BaseIPC: 1.30, MPKI175: 1.0, MPKI8: 0.6, MPKI16: 0.4, OverlapFactor: 0.5, TargetUtil: 0.02, Shape: ShapeFlat},
+		{Name: "vortex", Int: true, BaseIPC: 1.20, MPKI175: 2.0, MPKI8: 1.2, MPKI16: 0.8, OverlapFactor: 0.5, TargetUtil: 0.06, Shape: ShapeRamp},
+		{Name: "bzip2", Int: true, BaseIPC: 1.10, MPKI175: 2.5, MPKI8: 1.7, MPKI16: 1.2, OverlapFactor: 0.6, TargetUtil: 0.05, Shape: ShapeHumps},
+		{Name: "twolf", Int: true, BaseIPC: 0.90, MPKI175: 1.8, MPKI8: 0.9, MPKI16: 0.5, OverlapFactor: 0.4, TargetUtil: 0.03, Shape: ShapeFlat},
+	}
+}
+
+// ByName finds a benchmark in either suite.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range FP2000() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	for _, b := range Int2000() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}

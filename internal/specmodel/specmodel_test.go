@@ -1,0 +1,196 @@
+package specmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func get(t *testing.T, name string) Benchmark {
+	t.Helper()
+	b, ok := ByName(name)
+	if !ok {
+		t.Fatalf("benchmark %q missing", name)
+	}
+	return b
+}
+
+func TestSuitesComplete(t *testing.T) {
+	if len(FP2000()) != 14 {
+		t.Fatalf("SPECfp2000 has %d components, want 14", len(FP2000()))
+	}
+	if len(Int2000()) != 12 {
+		t.Fatalf("SPECint2000 has %d components, want 12", len(Int2000()))
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Fatal("ByName found a ghost")
+	}
+}
+
+func TestSwimAdvantageMatchesPaper(t *testing.T) {
+	// §3.3: "swim shows 2.3 times advantage on GS1280 vs ES45 and 4 times
+	// vs GS320".
+	swim := get(t, "swim")
+	gs := swim.IPC(GS1280Model())
+	es := swim.IPC(ES45Model())
+	old := swim.IPC(GS320Model())
+	if r := gs / es; r < 1.9 || r > 2.9 {
+		t.Errorf("swim GS1280/ES45 = %.2f, paper says 2.3", r)
+	}
+	if r := gs / old; r < 3.2 || r > 4.8 {
+		t.Errorf("swim GS1280/GS320 = %.2f, paper says 4.0", r)
+	}
+}
+
+func TestFacerecInversionMatchesPaper(t *testing.T) {
+	// §3.3: facerec fits in 8 MB but not 1.75 MB, so ES45 and GS320 beat
+	// GS1280 despite their slower memory.
+	f := get(t, "facerec")
+	gs := f.IPC(GS1280Model())
+	es := f.IPC(ES45Model())
+	old := f.IPC(GS320Model())
+	if gs >= es {
+		t.Errorf("facerec: GS1280 %.2f >= ES45 %.2f, paper shows a loss", gs, es)
+	}
+	if gs >= old {
+		t.Errorf("facerec: GS1280 %.2f >= GS320 %.2f, paper shows a loss", gs, old)
+	}
+	// And the mechanism: MPKI collapses at 8 MB.
+	if f.MPKI(8<<20) > f.MPKI(1792*1024)/5 {
+		t.Error("facerec MPKI does not collapse at 8MB")
+	}
+}
+
+func TestIntegerBenchmarksComparable(t *testing.T) {
+	// §7: "the exceptions are the small integer benchmarks that fit well
+	// in the on-chip caches" — GS1280 and GS320 within ~25% on most ints.
+	within := 0
+	for _, b := range Int2000() {
+		if b.Name == "mcf" {
+			continue // memory bound, GS1280 wins big
+		}
+		r := b.IPC(GS1280Model()) / b.IPC(GS320Model())
+		if r > 0.8 && r < 1.4 {
+			within++
+		}
+	}
+	if within < 8 {
+		t.Errorf("only %d/11 int benchmarks comparable across generations", within)
+	}
+}
+
+func TestMcfMemoryBound(t *testing.T) {
+	mcf := get(t, "mcf")
+	if ipc := mcf.IPC(GS1280Model()); ipc > 0.45 {
+		t.Errorf("mcf GS1280 IPC = %.2f, should be memory crippled (<0.45)", ipc)
+	}
+	if mcf.IPC(GS1280Model()) <= mcf.IPC(GS320Model()) {
+		t.Error("mcf should still prefer the lower-latency GS1280")
+	}
+}
+
+func TestHighUtilBenchmarksWinOnGS1280(t *testing.T) {
+	// Figs 8/10's joint claim: benchmarks with high memory utilization
+	// are exactly the ones with a big GS1280 advantage.
+	for _, b := range FP2000() {
+		if b.TargetUtil >= 0.20 {
+			if r := b.IPC(GS1280Model()) / b.IPC(GS320Model()); r < 1.5 {
+				t.Errorf("%s: util %.0f%% but GS1280/GS320 only %.2f",
+					b.Name, b.TargetUtil*100, r)
+			}
+		}
+	}
+}
+
+func TestThroughputContentionOnSharedBus(t *testing.T) {
+	// Fig 1/7's mechanism: four swim copies on a shared ES45 bus slow
+	// each other; four GS1280 copies do not.
+	swim := get(t, "swim")
+	es1 := swim.ThroughputIPC(ES45Model(), 1)
+	es4 := swim.ThroughputIPC(ES45Model(), 4)
+	if es4 >= es1*0.85 {
+		t.Errorf("ES45 swim 4-copy IPC %.3f not degraded vs 1-copy %.3f", es4, es1)
+	}
+	gs1 := swim.ThroughputIPC(GS1280Model(), 1)
+	gs16 := swim.ThroughputIPC(GS1280Model(), 16)
+	if gs16 != gs1 {
+		t.Errorf("GS1280 rate copies interfere: %.3f vs %.3f", gs16, gs1)
+	}
+}
+
+func TestFPRateScalingShape(t *testing.T) {
+	// Fig 1: GS1280 scales ~linearly; GS320 flattens. Ratios at 16P match
+	// the paper's ~2.6x SPECfp_rate gap.
+	gs16 := FPRate(GS1280Model(), 16)
+	gs1 := FPRate(GS1280Model(), 1)
+	if math.Abs(gs16/gs1-16) > 0.5 {
+		t.Errorf("GS1280 rate 16P/1P = %.1f, want ~16 (linear)", gs16/gs1)
+	}
+	old16 := FPRate(GS320Model(), 16)
+	if r := gs16 / old16; r < 1.8 || r > 3.5 {
+		t.Errorf("SPECfp_rate 16P GS1280/GS320 = %.2f, paper ~2.6", r)
+	}
+	// Anchor: 1P GS1280 is ~17.
+	if gs1 < 16 || gs1 > 18 {
+		t.Errorf("1P GS1280 fp rate = %.1f, anchored at 17", gs1)
+	}
+}
+
+func TestIntRateParity(t *testing.T) {
+	// Fig 28: SPECint_rate at 16P is ~1x between generations.
+	r := IntRate(GS1280Model(), 16) / IntRate(GS320Model(), 16)
+	if r < 0.8 || r > 1.8 {
+		t.Errorf("SPECint_rate 16P ratio = %.2f, paper ~1.0-1.3", r)
+	}
+}
+
+func TestStripedIPCDegrades(t *testing.T) {
+	// Fig 25: striping hurts throughput workloads; swim degrades most
+	// (~30%), cache-resident codes barely.
+	swim := get(t, "swim")
+	m := GS1280Model()
+	deg := 1 - swim.StripedIPC(m)/swim.IPC(m)
+	if deg < 0.10 || deg > 0.40 {
+		t.Errorf("swim striping degradation = %.0f%%, paper ~30%%", deg*100)
+	}
+	mesa := get(t, "mesa")
+	if d := 1 - mesa.StripedIPC(m)/mesa.IPC(m); d > 0.05 {
+		t.Errorf("mesa striping degradation = %.0f%%, should be small", d*100)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	for _, b := range append(FP2000(), Int2000()...) {
+		p := b.Profile(60)
+		if len(p) != 60 {
+			t.Fatalf("%s profile length %d", b.Name, len(p))
+		}
+		peak := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s profile value %v out of range", b.Name, v)
+			}
+			if v > peak {
+				peak = v
+			}
+		}
+		if peak > b.TargetUtil*1.01 {
+			t.Fatalf("%s profile peak %.3f exceeds target %.3f", b.Name, peak, b.TargetUtil)
+		}
+		if peak < b.TargetUtil*0.5 {
+			t.Fatalf("%s profile never approaches its target", b.Name)
+		}
+	}
+}
+
+func TestSwimUtilizationIsHighest(t *testing.T) {
+	// Fig 10: "Swim is the leader with 53% utilization".
+	var leader Benchmark
+	for _, b := range FP2000() {
+		if b.TargetUtil > leader.TargetUtil {
+			leader = b
+		}
+	}
+	if leader.Name != "swim" || leader.TargetUtil != 0.53 {
+		t.Fatalf("utilization leader = %s at %.2f, want swim at 0.53", leader.Name, leader.TargetUtil)
+	}
+}

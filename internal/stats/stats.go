@@ -1,0 +1,114 @@
+// Package stats provides small numeric helpers shared by the experiment
+// harness: time series, summaries and curve containers matching the
+// paper's plot types (latency-vs-bandwidth curves, utilization-vs-time
+// profiles, per-benchmark bars).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one (X, Y) sample of a curve.
+type Point struct{ X, Y float64 }
+
+// Curve is an ordered series of points, e.g. bandwidth (X) against
+// latency (Y) in the Fig 15 load test.
+type Curve struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (c *Curve) Add(x, y float64) { c.Points = append(c.Points, Point{x, y}) }
+
+// MaxX reports the largest X (e.g. saturation bandwidth).
+func (c *Curve) MaxX() float64 {
+	best := math.Inf(-1)
+	for _, p := range c.Points {
+		if p.X > best {
+			best = p.X
+		}
+	}
+	return best
+}
+
+// YAtMaxX reports Y at the point with the largest X.
+func (c *Curve) YAtMaxX() float64 {
+	best := math.Inf(-1)
+	y := 0.0
+	for _, p := range c.Points {
+		if p.X > best {
+			best, y = p.X, p.Y
+		}
+	}
+	return y
+}
+
+// Summary holds order statistics of a sample set.
+type Summary struct {
+	N              int
+	Min, Max, Mean float64
+	Median         float64
+	StdDev         float64
+}
+
+// Summarize computes a Summary. An empty input yields the zero Summary.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(values), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(values))
+	var varSum float64
+	for _, v := range values {
+		d := v - s.Mean
+		varSum += d * d
+	}
+	s.StdDev = math.Sqrt(varSum / float64(len(values)))
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// Ratio formats a/b as the paper's "N.NNx" improvement ratios, guarding
+// against division by zero.
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", a/b)
+}
+
+// GeoMean reports the geometric mean (SPEC's aggregate), 0 for empty or
+// non-positive inputs.
+func GeoMean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, v := range values {
+		if v <= 0 {
+			return 0
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(values)))
+}

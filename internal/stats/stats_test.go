@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCurve(t *testing.T) {
+	var c Curve
+	c.Add(10, 100)
+	c.Add(30, 300)
+	c.Add(20, 200)
+	if c.MaxX() != 30 {
+		t.Fatalf("MaxX = %v", c.MaxX())
+	}
+	if c.YAtMaxX() != 300 {
+		t.Fatalf("YAtMaxX = %v", c.YAtMaxX())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 || s.Median != 2.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+	odd := Summarize([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Fatalf("odd median = %v", odd.Median)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+// Property: min <= median <= max and min <= mean <= max.
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			// Keep magnitudes sane so the mean cannot overflow.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e100 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		s := Summarize(vals)
+		return s.Min <= s.Median && s.Median <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(4, 2) != "2.00x" {
+		t.Fatalf("ratio = %s", Ratio(4, 2))
+	}
+	if Ratio(1, 0) != "inf" {
+		t.Fatal("zero denominator not guarded")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("geomean = %v", g)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, -1}) != 0 {
+		t.Fatal("degenerate geomean not zero")
+	}
+}

@@ -1,0 +1,255 @@
+package topology
+
+// RoutePolicy selects how shuffle links may be used, mirroring §4.1's two
+// measured schemes. On a plain torus all policies are equivalent.
+type RoutePolicy int
+
+const (
+	// RouteAdaptive allows every link on any minimal path (the default
+	// GS1280 routing and the natural policy for a plain torus).
+	RouteAdaptive RoutePolicy = iota
+	// RouteShuffle1Hop allows a shuffle link only as a packet's first hop
+	// ("shuffle with 1-hop" in Fig 18).
+	RouteShuffle1Hop
+	// RouteShuffle2Hop allows shuffle links within a packet's first two
+	// hops ("shuffle with 2-hops" in Fig 18).
+	RouteShuffle2Hop
+)
+
+func (p RoutePolicy) String() string {
+	switch p {
+	case RouteAdaptive:
+		return "adaptive"
+	case RouteShuffle1Hop:
+		return "shuffle-1hop"
+	case RouteShuffle2Hop:
+		return "shuffle-2hop"
+	}
+	return "RoutePolicy(?)"
+}
+
+// budget reports how many more hops may use shuffle links for a packet
+// that has already taken hopsTaken hops. A negative result means
+// "unlimited".
+func (p RoutePolicy) budget(hopsTaken int) int {
+	switch p {
+	case RouteShuffle1Hop:
+		if b := 1 - hopsTaken; b > 0 {
+			return b
+		}
+		return 0
+	case RouteShuffle2Hop:
+		if b := 2 - hopsTaken; b > 0 {
+			return b
+		}
+		return 0
+	default:
+		return -1
+	}
+}
+
+// hasShuffle reports whether the topology contains any shuffle links.
+func (t *Topology) hasShuffle() bool {
+	for _, edges := range t.adj {
+		for _, e := range edges {
+			if e.Dir == Shuffle {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ensurePolicyTables lazily builds the budget-restricted distance tables
+// d0 (no shuffle links), d1 (shuffle in first hop) and d2 (first two hops).
+func (t *Topology) ensurePolicyTables() {
+	if t.distBudget != nil {
+		return
+	}
+	n := t.N()
+	d0 := t.bfsWithout(Shuffle)
+	step := func(prev [][]int16, allowShuffle bool) [][]int16 {
+		next := make([][]int16, n)
+		for src := 0; src < n; src++ {
+			row := make([]int16, n)
+			for dst := 0; dst < n; dst++ {
+				best := d0[src][dst]
+				if src != dst {
+					for _, e := range t.adj[src] {
+						if e.Dir == Shuffle && !allowShuffle {
+							continue
+						}
+						if c := prev[e.To][dst] + 1; c < best {
+							best = c
+						}
+					}
+				}
+				row[dst] = best
+			}
+			next[src] = row
+		}
+		return next
+	}
+	d1 := step(d0, true)
+	d2 := step(d1, true)
+	t.distBudget = [][][]int16{d0, d1, d2}
+}
+
+// bfsWithout computes all-pairs distances using only edges whose direction
+// differs from excluded.
+func (t *Topology) bfsWithout(excluded Dir) [][]int16 {
+	n := t.N()
+	out := make([][]int16, n)
+	queue := make([]NodeID, 0, n)
+	for src := 0; src < n; src++ {
+		d := make([]int16, n)
+		for i := range d {
+			d[i] = -1
+		}
+		d[src] = 0
+		queue = queue[:0]
+		queue = append(queue, NodeID(src))
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, e := range t.adj[cur] {
+				if e.Dir == excluded {
+					continue
+				}
+				if d[e.To] == -1 {
+					d[e.To] = d[cur] + 1
+					queue = append(queue, e.To)
+				}
+			}
+		}
+		for i, v := range d {
+			if v == -1 {
+				panic("topology: graph disconnected without " + excluded.String() + " links from " + t.Name + " node " + itoa(i))
+			}
+		}
+		out[src] = d
+	}
+	return out
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// DistPolicy reports the minimal hops from a to b for a packet that has
+// already taken hopsTaken hops under the given policy.
+func (t *Topology) DistPolicy(a, b NodeID, policy RoutePolicy, hopsTaken int) int {
+	budget := policy.budget(hopsTaken)
+	if budget < 0 || !t.hasShuffle() {
+		return t.Dist(a, b)
+	}
+	t.ensurePolicyTables()
+	if budget > 2 {
+		budget = 2
+	}
+	return int(t.distBudget[budget][a][b])
+}
+
+// NextHopsPolicy reports the edges out of cur on a minimal path to dst for
+// a packet that has taken hopsTaken hops under policy. Like NextHops, the
+// result order is deterministic and the call panics when cur == dst.
+func (t *Topology) NextHopsPolicy(cur, dst NodeID, policy RoutePolicy, hopsTaken int) []Edge {
+	budget := policy.budget(hopsTaken)
+	if budget < 0 || !t.hasShuffle() {
+		return t.NextHops(cur, dst)
+	}
+	if cur == dst {
+		panic("topology: NextHopsPolicy with cur == dst")
+	}
+	t.ensurePolicyTables()
+	if budget > 2 {
+		budget = 2
+	}
+	cb := budget - 1
+	if cb < 0 {
+		cb = 0
+	}
+	want := t.distBudget[budget][cur][dst] - 1
+	var hops []Edge
+	for _, e := range t.adj[cur] {
+		if e.Dir == Shuffle && budget == 0 {
+			continue
+		}
+		if t.distBudget[cb][e.To][dst] == want {
+			hops = append(hops, e)
+		}
+	}
+	if len(hops) == 0 {
+		panic("topology: no minimal policy hop in " + t.Name)
+	}
+	return hops
+}
+
+// AvgHops reports the mean hop count over all ordered node pairs
+// (including a node to itself, matching the paper's analytic model: a
+// 4x2 torus averages 1.5 hops and its shuffle 1.25, the 1.200 ratio of
+// Table 1).
+func (t *Topology) AvgHops(policy RoutePolicy) float64 {
+	n := t.N()
+	var sum int64
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			sum += int64(t.DistPolicy(NodeID(a), NodeID(b), policy, 0))
+		}
+	}
+	return float64(sum) / float64(n*n)
+}
+
+// WorstHops reports the network diameter under policy.
+func (t *Topology) WorstHops(policy RoutePolicy) int {
+	n := t.N()
+	worst := 0
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if d := t.DistPolicy(NodeID(a), NodeID(b), policy, 0); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// BisectionWidth reports the number of links crossing the cut that splits
+// the machine into two halves across the X (long) dimension — the paper's
+// "bisection width" column in Table 1 and the "cross-sectional bandwidth"
+// it invokes to explain the GUPS bend at 32 CPUs.
+func (t *Topology) BisectionWidth() int {
+	half := t.W / 2
+	count := 0
+	for a := 0; a < t.N(); a++ {
+		ca := t.Coord(NodeID(a))
+		for _, e := range t.adj[NodeID(a)] {
+			cb := t.Coord(e.To)
+			if ca.X < half && cb.X >= half {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// AvgDist is shorthand for AvgHops(RouteAdaptive).
+func (t *Topology) AvgDist() float64 { return t.AvgHops(RouteAdaptive) }

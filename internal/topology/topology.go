@@ -1,0 +1,200 @@
+// Package topology models the interconnect graphs of the systems in the
+// paper: the GS1280's two-dimensional torus (Fig 3), the "shuffle"
+// re-cabling of §4.1 (Figs 16/17, Table 1), and the analytic metrics the
+// paper reports for them (average hops, worst-case hops, bisection width).
+//
+// The package is pure graph math — no simulated time — so the network
+// simulator and the analytic Table 1 reproduction share one source of truth
+// for distances and minimal next-hop sets.
+package topology
+
+import "fmt"
+
+// NodeID identifies a CPU in the machine, numbered row-major: node
+// y*W + x sits at column x, row y.
+type NodeID int
+
+// Coord is a node position in the grid.
+type Coord struct{ X, Y int }
+
+// Dir labels the physical port a link leaves through. The EV7 router has
+// four inter-processor ports; Shuffle is carried on a re-cabled
+// North/South port (§4.1 of the paper).
+type Dir int
+
+const (
+	North Dir = iota
+	South
+	East
+	West
+	Shuffle
+	numDirs
+)
+
+var dirNames = [...]string{"N", "S", "E", "W", "X"}
+
+func (d Dir) String() string {
+	if d < 0 || int(d) >= len(dirNames) {
+		return fmt.Sprintf("Dir(%d)", int(d))
+	}
+	return dirNames[d]
+}
+
+// LinkClass captures the physical medium of a link, which sets its wire
+// latency. The paper's Fig 13 shows 1-hop latencies of 139 ns to the module
+// partner, ~145 ns across the backplane, and 154 ns over a cable.
+type LinkClass int
+
+const (
+	// ModuleLink joins the two CPUs on one dual-processor module.
+	ModuleLink LinkClass = iota
+	// BoardLink is a backplane trace between modules in a drawer.
+	BoardLink
+	// CableLink is an inter-drawer or wrap-around cable.
+	CableLink
+)
+
+func (c LinkClass) String() string {
+	switch c {
+	case ModuleLink:
+		return "module"
+	case BoardLink:
+		return "board"
+	case CableLink:
+		return "cable"
+	}
+	return fmt.Sprintf("LinkClass(%d)", int(c))
+}
+
+// Edge is a directed link from one node to a neighbor.
+type Edge struct {
+	To    NodeID
+	Dir   Dir
+	Class LinkClass
+}
+
+// Topology is an immutable interconnect graph with precomputed all-pairs
+// distances. Construct one with NewTorus or NewShuffle.
+type Topology struct {
+	Name string
+	W, H int
+	adj  [][]Edge
+	dist [][]int16
+	// distBudget holds shuffle-budget-restricted distance tables, built
+	// lazily by ensurePolicyTables: index 0 forbids shuffle links, index b
+	// allows them during the first b hops.
+	distBudget [][][]int16
+}
+
+// N reports the number of nodes.
+func (t *Topology) N() int { return t.W * t.H }
+
+// Coord reports the grid position of n.
+func (t *Topology) Coord(n NodeID) Coord {
+	return Coord{X: int(n) % t.W, Y: int(n) / t.W}
+}
+
+// Node reports the node at position c (coordinates taken modulo the grid).
+func (t *Topology) Node(c Coord) NodeID {
+	x := ((c.X % t.W) + t.W) % t.W
+	y := ((c.Y % t.H) + t.H) % t.H
+	return NodeID(y*t.W + x)
+}
+
+// Neighbors reports the outgoing edges of n. Callers must not mutate the
+// returned slice.
+func (t *Topology) Neighbors(n NodeID) []Edge { return t.adj[n] }
+
+// Dist reports the minimal hop count from a to b.
+func (t *Topology) Dist(a, b NodeID) int { return int(t.dist[a][b]) }
+
+// NextHops reports the edges out of cur that lie on a minimal path to dst.
+// The result is ordered deterministically (by the adjacency order, which is
+// N, S, E, W, Shuffle); the first entry is the dimension-order ("escape")
+// choice used by deadlock-free virtual channels, the full set is what the
+// adaptive channel may choose between. NextHops panics if cur == dst.
+func (t *Topology) NextHops(cur, dst NodeID) []Edge {
+	if cur == dst {
+		panic("topology: NextHops with cur == dst")
+	}
+	var hops []Edge
+	want := t.dist[cur][dst] - 1
+	for _, e := range t.adj[cur] {
+		if t.dist[e.To][dst] == want {
+			hops = append(hops, e)
+		}
+	}
+	if len(hops) == 0 {
+		panic(fmt.Sprintf("topology: no minimal hop from %d to %d", cur, dst))
+	}
+	return hops
+}
+
+// addLink inserts an undirected link (two directed edges) between a and b.
+// dirAB is the port a uses to reach b; the reverse edge uses the opposite
+// port, except Shuffle links which are Shuffle in both directions.
+func (t *Topology) addLink(a, b NodeID, dirAB Dir, class LinkClass) {
+	t.adj[a] = append(t.adj[a], Edge{To: b, Dir: dirAB, Class: class})
+	t.adj[b] = append(t.adj[b], Edge{To: a, Dir: opposite(dirAB), Class: class})
+}
+
+func opposite(d Dir) Dir {
+	switch d {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	default:
+		return Shuffle
+	}
+}
+
+// computeDistances fills the all-pairs table by BFS from every node.
+// Machines top out at 16x16 = 256 nodes, so O(N^2) is trivial.
+func (t *Topology) computeDistances() {
+	n := t.N()
+	t.dist = make([][]int16, n)
+	queue := make([]NodeID, 0, n)
+	for src := 0; src < n; src++ {
+		d := make([]int16, n)
+		for i := range d {
+			d[i] = -1
+		}
+		d[src] = 0
+		queue = queue[:0]
+		queue = append(queue, NodeID(src))
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, e := range t.adj[cur] {
+				if d[e.To] == -1 {
+					d[e.To] = d[cur] + 1
+					queue = append(queue, e.To)
+				}
+			}
+		}
+		for i, v := range d {
+			if v == -1 {
+				panic(fmt.Sprintf("topology %s: node %d unreachable from %d", t.Name, i, src))
+			}
+		}
+		t.dist[src] = d
+	}
+}
+
+// sortAdjacency orders each node's edges N, S, E, W, Shuffle so that
+// NextHops and the router's arbitration are deterministic.
+func (t *Topology) sortAdjacency() {
+	for n := range t.adj {
+		edges := t.adj[n]
+		for i := 1; i < len(edges); i++ {
+			for j := i; j > 0 && edges[j].Dir < edges[j-1].Dir; j-- {
+				edges[j], edges[j-1] = edges[j-1], edges[j]
+			}
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package trace provides a lightweight event trace for simulations: a
+// bounded in-memory ring of timestamped records that components emit and
+// tests or tools inspect. The paper's methodology leans on non-intrusive
+// monitoring (§1); this is the simulator's equivalent for events that
+// counters cannot express, such as individual protocol transactions.
+//
+// Tracing is off by default and costs one branch when disabled.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"gs1280/internal/sim"
+)
+
+// Kind classifies a trace record.
+type Kind uint8
+
+const (
+	// Request is a coherence request leaving a node.
+	Request Kind = iota
+	// Forward is a directory-initiated forward or invalidate.
+	Forward
+	// Response is a data or ack delivery.
+	Response
+	// Victim is a writeback.
+	Victim
+	// NAK is a bounced request.
+	NAK
+	// IO is an I/O DMA transfer.
+	IO
+	numKinds
+)
+
+var kindNames = [...]string{"req", "fwd", "resp", "victim", "nak", "io"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Record is one traced event.
+type Record struct {
+	At   sim.Time
+	Kind Kind
+	// Src and Dst are node ids (or -1).
+	Src, Dst int
+	// Addr is the line address involved (or -1).
+	Addr int64
+	// Note is a short free-text tag ("read", "readmod", "sharewb"...).
+	Note string
+}
+
+func (r Record) String() string {
+	return fmt.Sprintf("%v %s %d->%d %#x %s", r.At, r.Kind, r.Src, r.Dst, r.Addr, r.Note)
+}
+
+// Buffer is a bounded trace ring. The zero value is a disabled buffer;
+// call Enable to arm it.
+type Buffer struct {
+	eng     *sim.Engine
+	cap     int
+	records []Record
+	dropped uint64
+	enabled bool
+	counts  [numKinds]uint64
+}
+
+// New builds a buffer bound to eng holding up to capacity records.
+func New(eng *sim.Engine, capacity int) *Buffer {
+	if capacity <= 0 {
+		panic("trace: non-positive capacity")
+	}
+	return &Buffer{eng: eng, cap: capacity}
+}
+
+// Enable arms the buffer; Disable stops recording without clearing.
+func (b *Buffer) Enable() { b.enabled = true }
+
+// Disable stops recording; existing records remain readable.
+func (b *Buffer) Disable() { b.enabled = false }
+
+// Enabled reports whether records are being captured.
+func (b *Buffer) Enabled() bool { return b != nil && b.enabled }
+
+// Emit appends a record if tracing is enabled. When the ring is full the
+// oldest record is dropped (and counted).
+func (b *Buffer) Emit(kind Kind, src, dst int, addr int64, note string) {
+	if b == nil || !b.enabled {
+		return
+	}
+	b.counts[kind]++
+	if len(b.records) >= b.cap {
+		b.records = b.records[1:]
+		b.dropped++
+	}
+	b.records = append(b.records, Record{
+		At: b.eng.Now(), Kind: kind, Src: src, Dst: dst, Addr: addr, Note: note,
+	})
+}
+
+// Records returns the retained records, oldest first. Callers must not
+// mutate the result.
+func (b *Buffer) Records() []Record { return b.records }
+
+// Dropped reports how many records the ring evicted.
+func (b *Buffer) Dropped() uint64 { return b.dropped }
+
+// Count reports how many records of kind were emitted (including any
+// later dropped from the ring).
+func (b *Buffer) Count(kind Kind) uint64 { return b.counts[kind] }
+
+// Reset clears records and counters, preserving enablement.
+func (b *Buffer) Reset() {
+	b.records = nil
+	b.dropped = 0
+	b.counts = [numKinds]uint64{}
+}
+
+// Filter returns the retained records of one kind, oldest first.
+func (b *Buffer) Filter(kind Kind) []Record {
+	var out []Record
+	for _, r := range b.records {
+		if r.Kind == kind {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Dump renders the retained records one per line.
+func (b *Buffer) Dump() string {
+	var sb strings.Builder
+	for _, r := range b.records {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	if b.dropped > 0 {
+		fmt.Fprintf(&sb, "(%d older records dropped)\n", b.dropped)
+	}
+	return sb.String()
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"gs1280/internal/sim"
+)
+
+func TestDisabledBufferIsFree(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 8)
+	b.Emit(Request, 0, 1, 0x40, "read")
+	if len(b.Records()) != 0 {
+		t.Fatal("disabled buffer recorded")
+	}
+	var nilBuf *Buffer
+	nilBuf.Emit(Request, 0, 1, 0x40, "read") // must not panic
+	if nilBuf.Enabled() {
+		t.Fatal("nil buffer claims enabled")
+	}
+}
+
+func TestEmitAndFilter(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 8)
+	b.Enable()
+	eng.At(10, func() { b.Emit(Request, 0, 5, 0x40, "read") })
+	eng.At(20, func() { b.Emit(Response, 5, 0, 0x40, "data") })
+	eng.At(30, func() { b.Emit(Request, 1, 5, 0x80, "readmod") })
+	eng.Run()
+	if got := len(b.Records()); got != 3 {
+		t.Fatalf("records = %d, want 3", got)
+	}
+	reqs := b.Filter(Request)
+	if len(reqs) != 2 || reqs[0].At != 10 || reqs[1].Addr != 0x80 {
+		t.Fatalf("filter wrong: %v", reqs)
+	}
+	if b.Count(Request) != 2 || b.Count(Response) != 1 || b.Count(Victim) != 0 {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestRingDropsOldest(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 2)
+	b.Enable()
+	b.Emit(Request, 0, 1, 0, "a")
+	b.Emit(Request, 0, 1, 64, "b")
+	b.Emit(Request, 0, 1, 128, "c")
+	if b.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", b.Dropped())
+	}
+	recs := b.Records()
+	if len(recs) != 2 || recs[0].Addr != 64 {
+		t.Fatalf("ring kept wrong records: %v", recs)
+	}
+	// Counts include dropped records.
+	if b.Count(Request) != 3 {
+		t.Fatal("count lost dropped record")
+	}
+}
+
+func TestDumpAndString(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 1)
+	b.Enable()
+	b.Emit(Victim, 3, 7, 0x1c0, "wb")
+	b.Emit(NAK, 7, 3, 0x1c0, "busy")
+	out := b.Dump()
+	if !strings.Contains(out, "nak 7->3") || !strings.Contains(out, "dropped") {
+		t.Fatalf("dump = %q", out)
+	}
+	if Request.String() != "req" || IO.String() != "io" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestResetPreservesEnablement(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 4)
+	b.Enable()
+	b.Emit(Request, 0, 1, 0, "x")
+	b.Reset()
+	if len(b.Records()) != 0 || b.Count(Request) != 0 {
+		t.Fatal("reset incomplete")
+	}
+	b.Emit(Request, 0, 1, 0, "y")
+	if len(b.Records()) != 1 {
+		t.Fatal("buffer disabled after reset")
+	}
+}
+
+func TestDisableStopsRecording(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 4)
+	b.Enable()
+	b.Emit(Request, 0, 1, 0, "x")
+	b.Disable()
+	b.Emit(Request, 0, 1, 64, "y")
+	if len(b.Records()) != 1 {
+		t.Fatal("disabled buffer still recording")
+	}
+}
+
+func TestInvalidCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity did not panic")
+		}
+	}()
+	New(sim.NewEngine(), 0)
+}

@@ -1,0 +1,343 @@
+// Package workload generates the memory-access patterns behind every
+// experiment in the paper:
+//
+//   - PointerChase: lmbench-style dependent loads (Figs 4, 5, 12, 13, 14)
+//   - Triad: McCalpin STREAM's bandwidth kernel (Figs 6, 7)
+//   - GUPS: random global read-modify-writes (Figs 23, 24)
+//   - RandomRemote: the §4 load test, uniform random remote reads with a
+//     configurable number of outstanding references (Figs 15, 18)
+//   - HotSpot: every CPU reading one node's memory (Figs 26, 27)
+//   - Mix: parameterized compute/stream/remote phases used to model the
+//     Fluent and NAS SP application classes (Figs 19-22)
+//
+// Streams are deterministic: each owns its seeded RNG.
+package workload
+
+import (
+	"gs1280/internal/cpu"
+	"gs1280/internal/machine"
+	"gs1280/internal/sim"
+)
+
+// lineAlign clamps an address to a 64-byte line.
+func lineAlign(addr int64) int64 { return addr &^ 63 }
+
+// PointerChase emits dependent 64-byte-strided loads walking a dataset
+// cyclically, exactly like lmbench's lat_mem_rd probe: each load's issue
+// waits for the previous one, so the average latency is the load-to-use
+// time of whichever hierarchy level the dataset fits in.
+type PointerChase struct {
+	Base    int64
+	Dataset int64
+	Stride  int64
+	Count   int
+
+	i      int
+	offset int64
+}
+
+// NewPointerChase validates and builds the chase.
+func NewPointerChase(base, dataset, stride int64, count int) *PointerChase {
+	if dataset <= 0 || stride <= 0 || count < 0 {
+		panic("workload: invalid pointer chase")
+	}
+	return &PointerChase{Base: base, Dataset: dataset, Stride: stride, Count: count}
+}
+
+// Next implements cpu.Stream.
+func (p *PointerChase) Next() (cpu.Op, bool) {
+	if p.i >= p.Count {
+		return cpu.Op{}, false
+	}
+	p.i++
+	op := cpu.Op{Addr: p.Base + p.offset, Dependent: true}
+	p.offset += p.Stride
+	if p.offset >= p.Dataset {
+		p.offset -= p.Dataset
+	}
+	return op, true
+}
+
+// Triad emits the STREAM triad a[i] = b[i] + s*c[i] at line granularity:
+// two independent reads and one write per element line, across three
+// arrays each ArrayBytes long starting at Base. Iterations repeat the
+// whole sweep (first sweep is the cold/warmup pass).
+type Triad struct {
+	Base       int64
+	ArrayBytes int64
+	Iterations int
+
+	iter int
+	line int64
+	sub  int
+}
+
+// NewTriad validates and builds the kernel.
+func NewTriad(base, arrayBytes int64, iterations int) *Triad {
+	if arrayBytes < 64 || iterations < 1 {
+		panic("workload: invalid triad")
+	}
+	return &Triad{Base: base, ArrayBytes: arrayBytes, Iterations: iterations}
+}
+
+// Lines reports lines per array.
+func (t *Triad) Lines() int64 { return t.ArrayBytes / 64 }
+
+// Next implements cpu.Stream.
+func (t *Triad) Next() (cpu.Op, bool) {
+	if t.iter >= t.Iterations {
+		return cpu.Op{}, false
+	}
+	a := t.Base
+	b := t.Base + t.ArrayBytes
+	c := t.Base + 2*t.ArrayBytes
+	var op cpu.Op
+	switch t.sub {
+	case 0:
+		op = cpu.Op{Addr: b + t.line*64}
+	case 1:
+		op = cpu.Op{Addr: c + t.line*64}
+	default:
+		op = cpu.Op{Addr: a + t.line*64, Write: true}
+	}
+	t.sub++
+	if t.sub == 3 {
+		t.sub = 0
+		t.line++
+		if t.line >= t.Lines() {
+			t.line = 0
+			t.iter++
+		}
+	}
+	return op, true
+}
+
+// GUPS emits random read-modify-writes over a table spanning [Base,
+// Base+TableBytes) — the paper's IP-bandwidth-intensive class (§5.3).
+type GUPS struct {
+	Base       int64
+	TableBytes int64
+	Count      int
+	rng        *sim.RNG
+	i          int
+}
+
+// NewGUPS builds the updater with its own deterministic RNG.
+func NewGUPS(base, tableBytes int64, count int, seed uint64) *GUPS {
+	if tableBytes < 64 || count < 0 {
+		panic("workload: invalid GUPS")
+	}
+	return &GUPS{Base: base, TableBytes: tableBytes, Count: count, rng: sim.NewRNG(seed)}
+}
+
+// Next implements cpu.Stream.
+func (g *GUPS) Next() (cpu.Op, bool) {
+	if g.i >= g.Count {
+		return cpu.Op{}, false
+	}
+	g.i++
+	addr := g.Base + lineAlign(g.rng.Int63()%g.TableBytes)
+	return cpu.Op{Addr: addr, Write: true}, true
+}
+
+// RandomRemote is the §4 load test: each operation reads a random line in
+// a random *other* CPU's region. The number outstanding is set by the
+// CPU's MLP.
+type RandomRemote struct {
+	Self        int
+	Regions     int
+	RegionBytes int64
+	Count       int
+	rng         *sim.RNG
+	i           int
+}
+
+// NewRandomRemote builds the load-test stream for CPU self.
+func NewRandomRemote(self, regions int, regionBytes int64, count int, seed uint64) *RandomRemote {
+	if regions < 2 {
+		panic("workload: load test needs at least two CPUs")
+	}
+	return &RandomRemote{Self: self, Regions: regions, RegionBytes: regionBytes,
+		Count: count, rng: sim.NewRNG(seed)}
+}
+
+// Next implements cpu.Stream.
+func (r *RandomRemote) Next() (cpu.Op, bool) {
+	if r.i >= r.Count {
+		return cpu.Op{}, false
+	}
+	r.i++
+	target := r.rng.Intn(r.Regions - 1)
+	if target >= r.Self {
+		target++
+	}
+	addr := int64(target)*r.RegionBytes + lineAlign(r.rng.Int63()%r.RegionBytes)
+	return cpu.Op{Addr: addr}, true
+}
+
+// HotSpot reads random lines of one target window — all CPUs aiming at
+// CPU0's memory reproduces §6's hot-spot traffic.
+type HotSpot struct {
+	Base        int64
+	WindowBytes int64
+	Count       int
+	rng         *sim.RNG
+	i           int
+}
+
+// NewHotSpot builds the stream.
+func NewHotSpot(base, windowBytes int64, count int, seed uint64) *HotSpot {
+	if windowBytes < 64 {
+		panic("workload: invalid hot spot window")
+	}
+	return &HotSpot{Base: base, WindowBytes: windowBytes, Count: count, rng: sim.NewRNG(seed)}
+}
+
+// Next implements cpu.Stream.
+func (h *HotSpot) Next() (cpu.Op, bool) {
+	if h.i >= h.Count {
+		return cpu.Op{}, false
+	}
+	h.i++
+	return cpu.Op{Addr: h.Base + lineAlign(h.rng.Int63()%h.WindowBytes)}, true
+}
+
+// Mix models an application phase profile: each operation is, with the
+// given probabilities, a streaming pass over a large local array (memory
+// bandwidth), a random read of a remote neighbor (IP links), or a random
+// access within a cache-resident footprint; every op carries Compute of
+// core work. The Fluent and SP models of §5 are Mix instances.
+type Mix struct {
+	// FootprintBase/Bytes is the cache-resident working set.
+	FootprintBase, FootprintBytes int64
+	// StreamBase/Bytes is the large local array; StreamFrac of ops walk
+	// it sequentially.
+	StreamBase, StreamBytes int64
+	StreamFrac              float64
+	// RemoteBases are neighbor windows; RemoteFrac of ops read one at
+	// random (RemoteBytes wide each).
+	RemoteBases []int64
+	RemoteBytes int64
+	RemoteFrac  float64
+	// Compute is charged on every op.
+	Compute sim.Time
+	// DependentFrac marks this fraction of ops as dependent loads (they
+	// wait for all outstanding operations), exposing memory latency the
+	// way real pointer-and-index codes do.
+	DependentFrac float64
+	Count         int
+
+	rng       *sim.RNG
+	i         int
+	streamPos int64
+}
+
+// NewMix validates and builds the phase stream.
+func NewMix(m Mix, seed uint64) *Mix {
+	if m.FootprintBytes < 64 || m.Count < 0 {
+		panic("workload: invalid mix")
+	}
+	if m.StreamFrac < 0 || m.RemoteFrac < 0 || m.StreamFrac+m.RemoteFrac > 1 {
+		panic("workload: invalid mix fractions")
+	}
+	if m.RemoteFrac > 0 && (len(m.RemoteBases) == 0 || m.RemoteBytes < 64) {
+		panic("workload: remote fraction without remote windows")
+	}
+	if m.StreamFrac > 0 && m.StreamBytes < 64 {
+		panic("workload: stream fraction without stream array")
+	}
+	if m.DependentFrac < 0 || m.DependentFrac > 1 {
+		panic("workload: invalid dependent fraction")
+	}
+	mm := m
+	mm.rng = sim.NewRNG(seed)
+	return &mm
+}
+
+// Next implements cpu.Stream.
+func (m *Mix) Next() (cpu.Op, bool) {
+	if m.i >= m.Count {
+		return cpu.Op{}, false
+	}
+	m.i++
+	r := m.rng.Float64()
+	op := cpu.Op{Compute: m.Compute}
+	if m.DependentFrac > 0 && m.rng.Float64() < m.DependentFrac {
+		op.Dependent = true
+	}
+	switch {
+	case r < m.StreamFrac:
+		op.Addr = m.StreamBase + m.streamPos
+		m.streamPos += 64
+		if m.streamPos >= m.StreamBytes {
+			m.streamPos = 0
+		}
+	case r < m.StreamFrac+m.RemoteFrac:
+		base := m.RemoteBases[m.rng.Intn(len(m.RemoteBases))]
+		op.Addr = base + lineAlign(m.rng.Int63()%m.RemoteBytes)
+	default:
+		op.Addr = m.FootprintBase + lineAlign(m.rng.Int63()%m.FootprintBytes)
+	}
+	return op, true
+}
+
+// Run starts stream i on CPU i of m for every non-nil stream and drives
+// the simulation until all complete.
+func Run(m machine.Machine, streams []cpu.Stream) {
+	for i, s := range streams {
+		if s != nil {
+			m.CPU(i).Run(s, nil)
+		}
+	}
+	m.Engine().Run()
+}
+
+// RunTimed starts the streams, runs for warmup, resets statistics, then
+// runs for measure longer (or until the streams drain) and returns the
+// measured interval length. Streams should carry enough operations to
+// outlast warmup+measure.
+func RunTimed(m machine.Machine, streams []cpu.Stream, warmup, measure sim.Time) sim.Time {
+	for i, s := range streams {
+		if s != nil {
+			m.CPU(i).Run(s, nil)
+		}
+	}
+	eng := m.Engine()
+	begin := eng.Now()
+	eng.RunUntil(begin + warmup)
+	m.ResetStats()
+	t0 := eng.Now()
+	eng.RunUntil(begin + warmup + measure)
+	return eng.Now() - t0
+}
+
+// NewLoadTest is the §4 load test under its paper name: an alias for
+// NewRandomRemote.
+func NewLoadTest(self, regions int, regionBytes int64, count int, seed uint64) *RandomRemote {
+	return NewRandomRemote(self, regions, regionBytes, count, seed)
+}
+
+// Capped wraps a stream, ending it after n operations. Experiments use it
+// to run exact-length warm-up passes over otherwise unbounded streams.
+type Capped struct {
+	Inner cpu.Stream
+	N     int
+	done  int
+}
+
+// NewCapped builds the wrapper.
+func NewCapped(inner cpu.Stream, n int) *Capped {
+	if inner == nil || n < 0 {
+		panic("workload: invalid capped stream")
+	}
+	return &Capped{Inner: inner, N: n}
+}
+
+// Next implements cpu.Stream.
+func (c *Capped) Next() (cpu.Op, bool) {
+	if c.done >= c.N {
+		return cpu.Op{}, false
+	}
+	c.done++
+	return c.Inner.Next()
+}

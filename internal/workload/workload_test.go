@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"testing"
+
+	"gs1280/internal/cpu"
+	"gs1280/internal/machine"
+	"gs1280/internal/sim"
+)
+
+func TestPointerChaseWrapsDataset(t *testing.T) {
+	p := NewPointerChase(1000, 256, 64, 10)
+	var addrs []int64
+	for {
+		op, ok := p.Next()
+		if !ok {
+			break
+		}
+		if !op.Dependent || op.Write {
+			t.Fatal("pointer chase ops must be dependent reads")
+		}
+		addrs = append(addrs, op.Addr)
+	}
+	if len(addrs) != 10 {
+		t.Fatalf("got %d ops, want 10", len(addrs))
+	}
+	want := []int64{1000, 1064, 1128, 1192, 1000, 1064, 1128, 1192, 1000, 1064}
+	for i, a := range addrs {
+		if a != want[i] {
+			t.Fatalf("addr[%d] = %d, want %d", i, a, want[i])
+		}
+	}
+}
+
+func TestPointerChaseLatencyTracksHierarchy(t *testing.T) {
+	// The Fig 4 mechanism on a real machine: a 16 KB chase hits L1, a
+	// 512 KB chase hits L2, a 16 MB chase goes to memory.
+	measure := func(dataset int64) sim.Time {
+		m := machine.NewGS1280(machine.GS1280Config{W: 2, H: 2})
+		lines := int(dataset / 64)
+		// Two passes: first warms, second measures.
+		Run(m, []cpu.Stream{NewPointerChase(m.RegionBase(0), dataset, 64, lines)})
+		m.ResetStats()
+		Run(m, []cpu.Stream{NewPointerChase(m.RegionBase(0), dataset, 64, lines)})
+		return m.CPU(0).Stats().AvgLatency()
+	}
+	l1 := measure(16 * 1024)
+	l2 := measure(512 * 1024)
+	mem := measure(16 * 1024 * 1024)
+	if l1 > 4*sim.Nanosecond {
+		t.Errorf("16KB chase latency %v, want L1 (~2.6ns)", l1)
+	}
+	if l2 < 8*sim.Nanosecond || l2 > 14*sim.Nanosecond {
+		t.Errorf("512KB chase latency %v, want L2 (~10.4ns)", l2)
+	}
+	if mem < 80*sim.Nanosecond || mem > 95*sim.Nanosecond {
+		t.Errorf("16MB chase latency %v, want memory (~83-90ns)", mem)
+	}
+}
+
+func TestTriadOpPattern(t *testing.T) {
+	tr := NewTriad(0, 128, 1) // 2 lines per array
+	var got []cpu.Op
+	for {
+		op, ok := tr.Next()
+		if !ok {
+			break
+		}
+		got = append(got, op)
+	}
+	if len(got) != 6 {
+		t.Fatalf("ops = %d, want 6 (2 lines x 3 streams)", len(got))
+	}
+	// b, c reads then a write per line.
+	if got[0].Addr != 128 || got[0].Write {
+		t.Fatalf("op0 = %+v, want read of b[0]", got[0])
+	}
+	if got[1].Addr != 256 || got[1].Write {
+		t.Fatalf("op1 = %+v, want read of c[0]", got[1])
+	}
+	if got[2].Addr != 0 || !got[2].Write {
+		t.Fatalf("op2 = %+v, want write of a[0]", got[2])
+	}
+}
+
+func TestGUPSStaysInTable(t *testing.T) {
+	g := NewGUPS(4096, 1<<20, 1000, 7)
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		if op.Addr < 4096 || op.Addr >= 4096+(1<<20) {
+			t.Fatalf("GUPS address %#x outside table", op.Addr)
+		}
+		if !op.Write || op.Addr%64 != 0 {
+			t.Fatal("GUPS ops must be line-aligned writes")
+		}
+	}
+}
+
+func TestRandomRemoteNeverTargetsSelf(t *testing.T) {
+	r := NewRandomRemote(3, 16, 1<<20, 5000, 9)
+	for {
+		op, ok := r.Next()
+		if !ok {
+			break
+		}
+		region := op.Addr / (1 << 20)
+		if region == 3 {
+			t.Fatal("load test targeted its own region")
+		}
+		if region < 0 || region >= 16 {
+			t.Fatalf("region %d out of range", region)
+		}
+	}
+}
+
+func TestRandomRemoteCoversAllTargets(t *testing.T) {
+	r := NewRandomRemote(0, 8, 1<<20, 4000, 11)
+	seen := map[int64]bool{}
+	for {
+		op, ok := r.Next()
+		if !ok {
+			break
+		}
+		seen[op.Addr/(1<<20)] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("load test covered %d targets, want 7", len(seen))
+	}
+}
+
+func TestHotSpotWindow(t *testing.T) {
+	h := NewHotSpot(1<<20, 4096, 100, 3)
+	for {
+		op, ok := h.Next()
+		if !ok {
+			break
+		}
+		if op.Addr < 1<<20 || op.Addr >= (1<<20)+4096 {
+			t.Fatalf("hot spot address %#x outside window", op.Addr)
+		}
+	}
+}
+
+func TestMixFractions(t *testing.T) {
+	m := NewMix(Mix{
+		FootprintBase: 0, FootprintBytes: 1 << 20,
+		StreamBase: 1 << 20, StreamBytes: 1 << 20, StreamFrac: 0.5,
+		RemoteBases: []int64{1 << 30}, RemoteBytes: 1 << 20, RemoteFrac: 0.1,
+		Compute: 10 * sim.Nanosecond,
+		Count:   10000,
+	}, 13)
+	var stream, remote, foot int
+	for {
+		op, ok := m.Next()
+		if !ok {
+			break
+		}
+		switch {
+		case op.Addr >= 1<<30:
+			remote++
+		case op.Addr >= 1<<20:
+			stream++
+		default:
+			foot++
+		}
+		if op.Compute != 10*sim.Nanosecond {
+			t.Fatal("mix op without compute")
+		}
+	}
+	if stream < 4500 || stream > 5500 {
+		t.Fatalf("stream ops = %d, want ~5000", stream)
+	}
+	if remote < 700 || remote > 1300 {
+		t.Fatalf("remote ops = %d, want ~1000", remote)
+	}
+	if foot < 3500 || foot > 4500 {
+		t.Fatalf("footprint ops = %d, want ~4000", foot)
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewMix(Mix{FootprintBytes: 0, Count: 1}, 1) },
+		func() { NewMix(Mix{FootprintBytes: 64, StreamFrac: 0.8, RemoteFrac: 0.3, Count: 1}, 1) },
+		func() { NewMix(Mix{FootprintBytes: 64, RemoteFrac: 0.1, Count: 1}, 1) },
+		func() { NewMix(Mix{FootprintBytes: 64, StreamFrac: 0.1, Count: 1}, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid mix did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRunTimedMeasuresInterval(t *testing.T) {
+	m := machine.NewGS1280(machine.GS1280Config{W: 2, H: 2})
+	streams := make([]cpu.Stream, m.N())
+	for i := range streams {
+		streams[i] = NewGUPS(0, m.TotalMemory(), 1_000_000, uint64(i+1))
+	}
+	interval := RunTimed(m, streams, 10*sim.Microsecond, 50*sim.Microsecond)
+	if interval != 50*sim.Microsecond {
+		t.Fatalf("measured interval = %v, want 50us", interval)
+	}
+	for i := 0; i < m.N(); i++ {
+		if m.CPU(i).Stats().Ops == 0 {
+			t.Fatalf("CPU %d made no progress in measurement window", i)
+		}
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	collect := func() []int64 {
+		g := NewGUPS(0, 1<<24, 200, 42)
+		var out []int64
+		for {
+			op, ok := g.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, op.Addr)
+		}
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("GUPS stream not deterministic")
+		}
+	}
+}
