@@ -9,7 +9,7 @@ import (
 // Each benchmark regenerates one of the paper's tables or figures; run
 // `go test -bench=. -benchmem` to rebuild the full evaluation. The quick
 // flag keeps per-iteration cost bounded; `gsbench -run <id>` (no -quick)
-// produces the dense sweeps recorded in EXPERIMENTS.md.
+// produces the dense sweeps the paper plots.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
@@ -57,6 +57,39 @@ func BenchmarkSimulatorCore(b *testing.B) {
 	for i := range streams {
 		streams[i] = gs1280.NewGUPS(0, m.TotalMemory(), b.N/m.N()+1, uint64(i+1))
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	gs1280.RunStreams(m, streams)
+}
+
+// The two workload benchmarks below exercise the event-engine hot path
+// end-to-end (cache -> coherence -> network -> memory controller) and
+// report per-simulated-operation cost. They are the headline numbers for
+// engine changes: the typed event heap runs both with zero steady-state
+// allocations per op (see internal/sim/engine_bench_test.go for the
+// container/heap baseline comparison).
+
+// BenchmarkWorkloadDependentLoad is the Fig 4 probe: one CPU chasing
+// dependent loads through a memory-resident dataset, one miss in flight at
+// a time — the latency-bound extreme.
+func BenchmarkWorkloadDependentLoad(b *testing.B) {
+	m := gs1280.New(gs1280.Config{W: 2, H: 1})
+	s := gs1280.NewPointerChase(m.RegionBase(0), 8<<20, 64, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	gs1280.RunStreams(m, []gs1280.Stream{s})
+}
+
+// BenchmarkWorkloadGUPS is the Fig 23 probe on a 32-CPU (8x4) machine:
+// every CPU issuing random global updates — the event-density extreme,
+// where queue churn dominates.
+func BenchmarkWorkloadGUPS(b *testing.B) {
+	m := gs1280.New(gs1280.Config{W: 8, H: 4, RegionBytes: 16 << 20})
+	streams := make([]gs1280.Stream, m.N())
+	for i := range streams {
+		streams[i] = gs1280.NewGUPS(0, m.TotalMemory(), b.N/m.N()+1, uint64(i*104729+7))
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	gs1280.RunStreams(m, streams)
 }

@@ -4,24 +4,54 @@
 //
 //	gsbench -list
 //	gsbench -run fig13
-//	gsbench -run all [-quick]
+//	gsbench -run all [-quick] [-j 8] [-csv | -json] [-progress]
+//
+// Experiments (and the sweep points inside them) are independent
+// simulations, so -run all fans them across -j worker goroutines (default:
+// one per core). Output is deterministic: tables are printed in paper
+// order with byte-identical contents for any -j. Tables go to stdout;
+// timing and progress go to stderr, so redirecting stdout captures clean
+// artifacts. Ctrl-C cancels the remaining runs.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
 	"time"
 
 	"gs1280/internal/experiments"
+	"gs1280/internal/runner"
 )
+
+// jsonTable is the -json shape of one regenerated artifact. Timings are
+// included because the JSON consumer is usually a tracking dashboard; the
+// table fields themselves are deterministic.
+type jsonTable struct {
+	ID        string     `json:"id"`
+	Title     string     `json:"title"`
+	Header    []string   `json:"header"`
+	Rows      [][]string `json:"rows"`
+	Notes     []string   `json:"notes,omitempty"`
+	Units     int        `json:"units"`
+	WorkMS    float64    `json:"work_ms"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+}
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids")
-	run := flag.String("run", "", "experiment id to run (or \"all\")")
+	run := flag.String("run", "", `experiment id to run (or "all")`)
 	quick := flag.Bool("quick", false, "reduced sweeps for fast runs")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := flag.Bool("json", false, "emit a JSON array of tables with timings")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
+	progress := flag.Bool("progress", false, "report each finished simulation unit on stderr")
 	flag.Parse()
 
 	if *list {
@@ -32,22 +62,90 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *csv && *jsonOut {
+		fmt.Fprintln(os.Stderr, "gsbench: -csv and -json are mutually exclusive")
+		os.Exit(2)
+	}
 	ids := []string{*run}
 	if *run == "all" {
 		ids = experiments.IDs()
 	}
-	for _, id := range ids {
-		start := time.Now()
-		table, err := experiments.Run(id, *quick)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if *csv {
-			fmt.Print(table.CSV())
-		} else {
-			fmt.Println(table)
-			fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// Unregister on the first interrupt so a second Ctrl-C falls through to
+	// default termination — in-flight simulations are not interruptible and
+	// may otherwise hold the process for seconds.
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	opts := runner.Options{Workers: *jobs, Quick: *quick}
+	if *progress {
+		opts.OnUnit = func(ev runner.UnitDone) {
+			fmt.Fprintf(os.Stderr, "gsbench: [%3d/%3d] %-28s %v\n",
+				ev.Done, ev.Total, ev.Unit, ev.Elapsed.Round(time.Millisecond))
 		}
 	}
+
+	start := time.Now()
+	results, runErr := runner.Run(ctx, ids, opts)
+
+	exit := 0
+	cancelled := 0
+	var tables []jsonTable
+	for _, r := range results {
+		if r.Err != nil {
+			if runErr != nil && errors.Is(r.Err, runErr) {
+				cancelled++ // summarized once below instead of one line each
+				exit = 1
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "gsbench: %s: %v\n", r.ID, r.Err)
+			exit = 1
+			continue
+		}
+		switch {
+		case *jsonOut:
+			tables = append(tables, jsonTable{
+				ID:        r.Table.ID,
+				Title:     r.Table.Title,
+				Header:    r.Table.Header,
+				Rows:      r.Table.Rows,
+				Notes:     r.Table.Notes,
+				Units:     r.Units,
+				WorkMS:    float64(r.Work) / float64(time.Millisecond),
+				ElapsedMS: float64(r.Elapsed) / float64(time.Millisecond),
+			})
+		case *csv:
+			fmt.Print(r.Table.CSV())
+		default:
+			fmt.Println(r.Table)
+			fmt.Fprintf(os.Stderr, "gsbench: %s regenerated in %v (%d units, %v summed work)\n",
+				r.ID, r.Elapsed.Round(time.Millisecond), r.Units, r.Work.Round(time.Millisecond))
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintf(os.Stderr, "gsbench: %v\n", err)
+			exit = 1
+		}
+	}
+	if len(ids) > 1 && runErr == nil {
+		fmt.Fprintf(os.Stderr, "gsbench: suite of %d experiments in %v with -j %d\n",
+			len(ids), time.Since(start).Round(time.Millisecond), *jobs)
+	}
+	if runErr != nil {
+		if cancelled > 0 {
+			fmt.Fprintf(os.Stderr, "gsbench: %v: %d of %d experiments not completed\n",
+				runErr, cancelled, len(ids))
+		} else {
+			fmt.Fprintf(os.Stderr, "gsbench: %v\n", runErr)
+		}
+		exit = 1
+	}
+	os.Exit(exit)
 }

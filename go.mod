@@ -1,0 +1,3 @@
+module gs1280
+
+go 1.21

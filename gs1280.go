@@ -12,7 +12,9 @@
 //     triad, GUPS, the §4 load test, hot-spot traffic, application-class
 //     mixes) run on any machine via RunStreams / RunStreamsTimed.
 //   - Experiments: Experiment(id) regenerates any of the paper's tables
-//     and figures (fig1..fig28, tab1) as a formatted Table.
+//     and figures (fig1..fig28, tab1) as a formatted Table, and
+//     RunExperiments fans a whole suite of them across every host core
+//     while keeping the output deterministic.
 //
 // A minimal session:
 //
@@ -25,10 +27,13 @@
 package gs1280
 
 import (
+	"context"
+
 	"gs1280/internal/cpu"
 	"gs1280/internal/experiments"
 	"gs1280/internal/machine"
 	"gs1280/internal/perfmon"
+	"gs1280/internal/runner"
 	"gs1280/internal/sim"
 	"gs1280/internal/topology"
 	"gs1280/internal/workload"
@@ -162,3 +167,24 @@ func Experiment(id string, quick bool) (*Table, error) { return experiments.Run(
 
 // ExperimentIDs lists every regenerable artifact in paper order.
 func ExperimentIDs() []string { return experiments.IDs() }
+
+// SuiteOptions configure RunExperiments: worker count, quick sweeps and an
+// optional per-unit progress callback.
+type SuiteOptions = runner.Options
+
+// SuiteResult is one experiment's outcome from RunExperiments, including
+// per-run wall-clock accounting.
+type SuiteResult = runner.Result
+
+// SuiteUnitDone is the progress event passed to SuiteOptions.OnUnit.
+type SuiteUnitDone = runner.UnitDone
+
+// RunExperiments regenerates several experiments concurrently, fanning
+// their independent simulations (whole experiments, and individual sweep
+// points of the sweep-style ones) across opts.Workers goroutines. Results
+// arrive in ids order and are byte-identical for any worker count; each
+// individual simulation remains single-threaded and deterministic.
+// Cancelling ctx stops dispatching further simulations.
+func RunExperiments(ctx context.Context, ids []string, opts SuiteOptions) ([]SuiteResult, error) {
+	return runner.Run(ctx, ids, opts)
+}

@@ -9,7 +9,8 @@ import (
 	"gs1280/internal/sim"
 )
 
-// AblationLoadTest quantifies the design choices DESIGN.md calls out by
+// AblationLoadTest quantifies the design choices docs/ARCHITECTURE.md
+// calls out by
 // switching them off one at a time and re-running the §4 load test on the
 // 16-CPU machine:
 //

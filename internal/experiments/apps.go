@@ -220,31 +220,62 @@ func Fig23GUPS(counts []int, warm, measure sim.Time) *Table {
 	if warm == 0 {
 		warm, measure = 20*sim.Microsecond, 80*sim.Microsecond
 	}
-	t := &Table{
+	parts := make([]Part, len(counts))
+	for i, n := range counts {
+		parts[i] = fig23Row(n, warm, measure)
+	}
+	return fig23Assemble(parts)
+}
+
+// fig23Row measures GUPS at one machine size on all three machines — one
+// row of Fig 23, independently runnable.
+func fig23Row(n int, warm, measure sim.Time) Part {
+	w, h := machine.StandardShape(n)
+	gs := machine.NewGS1280(machine.GS1280Config{W: w, H: h, RegionBytes: 16 << 20})
+	gsRate := gupsRate(gs, n, warm, measure)
+
+	old := "-"
+	if n <= 32 {
+		gm := machine.NewSMP(machine.GS320Config(n))
+		old = f1(gupsRate(gm, n, warm, measure))
+	}
+	es := "-"
+	if n <= 4 {
+		em := machine.NewSMP(machine.ES45Config())
+		es = f1(gupsRate(em, n, warm, measure))
+	}
+	return Part{Rows: [][]string{{fmt.Sprintf("%d", n), f1(gsRate), old, es}}}
+}
+
+func fig23Assemble(parts []Part) *Table {
+	t := assemble(&Table{
 		ID:     "fig23",
 		Title:  "GUPS (Mupdates/s) vs CPUs",
 		Header: []string{"CPUs", "GS1280", "GS320", "ES45"},
-	}
-	for _, n := range counts {
-		w, h := machine.StandardShape(n)
-		gs := machine.NewGS1280(machine.GS1280Config{W: w, H: h, RegionBytes: 16 << 20})
-		gsRate := gupsRate(gs, n, warm, measure)
-
-		old := "-"
-		if n <= 32 {
-			gm := machine.NewSMP(machine.GS320Config(n))
-			old = f1(gupsRate(gm, n, warm, measure))
-		}
-		es := "-"
-		if n <= 4 {
-			em := machine.NewSMP(machine.ES45Config())
-			es = f1(gupsRate(em, n, warm, measure))
-		}
-		t.AddRow(fmt.Sprintf("%d", n), f1(gsRate), old, es)
-	}
+	}, parts)
 	t.AddNote("paper: GS1280 reaches ~1000 Mup/s at 64P with a bend at 32 (flat cross-section 16->32);")
 	t.AddNote("GS320/ES45 stay an order of magnitude lower")
 	return t
+}
+
+// fig23Spec exposes the GUPS sweep as one unit per machine size.
+func fig23Spec() Spec {
+	plan := func(q bool) ([]int, sim.Time, sim.Time) {
+		if q {
+			return []int{4, 16, 32}, quickWarm, quickMeasure
+		}
+		return Fig23CPUCounts, 20 * sim.Microsecond, 80 * sim.Microsecond
+	}
+	return Spec{
+		ID: "fig23",
+		Units: func(q bool) []Unit {
+			counts, warm, measure := plan(q)
+			return sweepUnits(counts,
+				func(n int) string { return fmt.Sprintf("fig23[%dP]", n) },
+				func(n int) Part { return fig23Row(n, warm, measure) })
+		},
+		Assemble: func(_ bool, parts []Part) *Table { return fig23Assemble(parts) },
+	}
 }
 
 func gupsRate(m machine.Machine, n int, warm, measure sim.Time) float64 {

@@ -1,8 +1,16 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation. Each experiment returns a Table whose rows mirror what the
 // paper plots; cmd/gsbench prints them and bench_test.go wraps them in
-// testing.B benchmarks. DESIGN.md carries the experiment index and
-// EXPERIMENTS.md the paper-vs-measured comparison.
+// testing.B benchmarks. The README's experiment catalog maps each id to
+// its paper artifact.
+//
+// Experiments are declared as Specs: a list of independent Units (whole
+// experiments, or individual sweep points for the sweep-style figures)
+// plus an Assemble step that merges unit outputs in declared order. The
+// serial entry points (Run, Registry) execute units in order on one
+// goroutine; internal/runner fans the same units across many. Because
+// every unit builds its own machines, engine and seeded RNGs, both paths
+// produce byte-identical tables.
 package experiments
 
 import (

@@ -97,31 +97,59 @@ func Fig14AvgLatency(counts []int) *Table {
 	if counts == nil {
 		counts = Fig14CPUCounts
 	}
-	t := &Table{
+	parts := make([]Part, len(counts))
+	for i, n := range counts {
+		parts[i] = fig14Row(n)
+	}
+	return fig14Assemble(parts)
+}
+
+// fig14Row measures one machine size — one row of Fig 14, independently
+// runnable.
+func fig14Row(n int) Part {
+	w, h := machine.StandardShape(n)
+	gs := machine.NewGS1280(machine.GS1280Config{W: w, H: h})
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += ReadLatency(gs, 0, i).Nanoseconds()
+	}
+	old := "-"
+	if n <= 32 {
+		gm := machine.NewSMP(machine.GS320Config(n))
+		var osum float64
+		for i := 0; i < n; i++ {
+			osum += ReadLatency(gm, 0, i).Nanoseconds()
+		}
+		old = f1(osum / float64(n))
+	}
+	return Part{Rows: [][]string{{fmt.Sprintf("%d", n), f1(sum / float64(n)), old}}}
+}
+
+func fig14Assemble(parts []Part) *Table {
+	t := assemble(&Table{
 		ID:     "fig14",
 		Title:  "Average load-to-use latency (ns) vs CPUs",
 		Header: []string{"CPUs", "GS1280", "GS320"},
-	}
-	for _, n := range counts {
-		w, h := machine.StandardShape(n)
-		gs := machine.NewGS1280(machine.GS1280Config{W: w, H: h})
-		var sum float64
-		for i := 0; i < n; i++ {
-			sum += ReadLatency(gs, 0, i).Nanoseconds()
-		}
-		old := "-"
-		if n <= 32 {
-			gm := machine.NewSMP(machine.GS320Config(n))
-			var osum float64
-			for i := 0; i < n; i++ {
-				osum += ReadLatency(gm, 0, i).Nanoseconds()
-			}
-			old = f1(osum / float64(n))
-		}
-		t.AddRow(fmt.Sprintf("%d", n), f1(sum/float64(n)), old)
-	}
+	}, parts)
 	t.AddNote("paper: GS1280 stays under ~300ns at 64P; GS320 ~650ns at 32P")
 	return t
+}
+
+// fig14Spec exposes the CPU-count sweep as one unit per machine size.
+func fig14Spec() Spec {
+	return Spec{
+		ID: "fig14",
+		Units: func(q bool) []Unit {
+			counts := Fig14CPUCounts
+			if q {
+				counts = []int{4, 16, 64}
+			}
+			return sweepUnits(counts,
+				func(n int) string { return fmt.Sprintf("fig14[%dP]", n) },
+				fig14Row)
+		},
+		Assemble: func(_ bool, parts []Part) *Table { return fig14Assemble(parts) },
+	}
 }
 
 // LoadPoint is one (bandwidth, latency) sample of a load-test curve.
@@ -170,10 +198,58 @@ func makeLoadStreams(m machine.Machine, k int) []cpu.Stream {
 // Fig15Outstanding is the default sweep (the paper runs 1..30).
 var Fig15Outstanding = []int{1, 2, 4, 8, 12, 16, 24, 30}
 
+// fig15Config is one curve of the Fig 15 load test.
+type fig15Config struct {
+	name string
+	mk   func() machine.Machine
+}
+
+// fig15Configs lists the five curves: 16/32/64-CPU GS1280 (with
+// home-controller NAK/retry, which is what bends delivered bandwidth
+// backward past saturation in the paper) and 16/32-CPU GS320.
+func fig15Configs() []fig15Config {
+	var cfgs []fig15Config
+	for _, n := range []int{16, 32, 64} {
+		n := n
+		w, h := machine.StandardShape(n)
+		cfgs = append(cfgs, fig15Config{fmt.Sprintf("GS1280/%dP", n), func() machine.Machine {
+			return machine.NewGS1280(machine.GS1280Config{W: w, H: h, NAKThreshold: 8})
+		}})
+	}
+	for _, n := range []int{16, 32} {
+		n := n
+		cfgs = append(cfgs, fig15Config{fmt.Sprintf("GS320/%dP", n), func() machine.Machine {
+			return machine.NewSMP(machine.GS320Config(n))
+		}})
+	}
+	return cfgs
+}
+
+// fig15Point measures one (curve, outstanding-references) sample — at most
+// one row of Fig 15, independently runnable. A saturated sample that
+// completed no operations yields an empty part, matching loadTest's
+// skip-empty behaviour.
+func fig15Point(c fig15Config, k int, warm, measure sim.Time) Part {
+	var rows [][]string
+	for _, p := range loadTest(c.mk, []int{k}, warm, measure) {
+		rows = append(rows, []string{c.name, fmt.Sprintf("%d", p.Outstanding),
+			f1(p.BandwidthMB), f1(p.LatencyNs)})
+	}
+	return Part{Rows: rows}
+}
+
+func fig15Assemble(parts []Part) *Table {
+	t := assemble(&Table{
+		ID:     "fig15",
+		Title:  "Load test: latency (ns) vs delivered bandwidth (MB/s)",
+		Header: []string{"config", "outstanding", "bandwidth MB/s", "latency ns"},
+	}, parts)
+	t.AddNote("paper: GS1280 sustains far higher bandwidth at small latency growth; GS320 latency explodes early")
+	return t
+}
+
 // Fig15LoadTest regenerates Fig 15: latency against delivered bandwidth
 // under increasing load for 16/32/64-CPU GS1280 and 16/32-CPU GS320.
-// The GS1280 runs with home-controller NAK/retry enabled, which is what
-// bends delivered bandwidth backward past saturation in the paper.
 func Fig15LoadTest(outstanding []int, warm, measure sim.Time) *Table {
 	if outstanding == nil {
 		outstanding = Fig15Outstanding
@@ -184,30 +260,42 @@ func Fig15LoadTest(outstanding []int, warm, measure sim.Time) *Table {
 	if measure == 0 {
 		measure = 60 * sim.Microsecond
 	}
-	t := &Table{
-		ID:     "fig15",
-		Title:  "Load test: latency (ns) vs delivered bandwidth (MB/s)",
-		Header: []string{"config", "outstanding", "bandwidth MB/s", "latency ns"},
-	}
-	run := func(name string, mk func() machine.Machine) {
-		for _, p := range loadTest(mk, outstanding, warm, measure) {
-			t.AddRow(name, fmt.Sprintf("%d", p.Outstanding),
-				f1(p.BandwidthMB), f1(p.LatencyNs))
+	var parts []Part
+	for _, c := range fig15Configs() {
+		for _, k := range outstanding {
+			parts = append(parts, fig15Point(c, k, warm, measure))
 		}
 	}
-	for _, n := range []int{16, 32, 64} {
-		n := n
-		w, h := machine.StandardShape(n)
-		run(fmt.Sprintf("GS1280/%dP", n), func() machine.Machine {
-			return machine.NewGS1280(machine.GS1280Config{W: w, H: h, NAKThreshold: 8})
-		})
+	return fig15Assemble(parts)
+}
+
+// fig15Spec exposes the load test as one unit per (curve, load) sample —
+// 40 independent simulations in the full sweep.
+func fig15Spec() Spec {
+	plan := func(q bool) ([]int, sim.Time, sim.Time) {
+		if q {
+			return []int{1, 8, 30}, quickWarm, quickMeasure
+		}
+		return Fig15Outstanding, 20 * sim.Microsecond, 60 * sim.Microsecond
 	}
-	for _, n := range []int{16, 32} {
-		n := n
-		run(fmt.Sprintf("GS320/%dP", n), func() machine.Machine {
-			return machine.NewSMP(machine.GS320Config(n))
-		})
+	return Spec{
+		ID: "fig15",
+		Units: func(q bool) []Unit {
+			outstanding, warm, measure := plan(q)
+			type point struct {
+				c fig15Config
+				k int
+			}
+			var points []point
+			for _, c := range fig15Configs() {
+				for _, k := range outstanding {
+					points = append(points, point{c, k})
+				}
+			}
+			return sweepUnits(points,
+				func(p point) string { return fmt.Sprintf("fig15[%s,k=%d]", p.c.name, p.k) },
+				func(p point) Part { return fig15Point(p.c, p.k, warm, measure) })
+		},
+		Assemble: func(_ bool, parts []Part) *Table { return fig15Assemble(parts) },
 	}
-	t.AddNote("paper: GS1280 sustains far higher bandwidth at small latency growth; GS320 latency explodes early")
-	return t
 }

@@ -25,23 +25,51 @@ func Fig04DependentLoad(sizes []int64) *Table {
 	if sizes == nil {
 		sizes = Fig04Sizes
 	}
-	t := &Table{
+	parts := make([]Part, len(sizes))
+	for i, size := range sizes {
+		parts[i] = fig04Row(size)
+	}
+	return fig04Assemble(parts)
+}
+
+// fig04Row measures one dataset size on the three machines — one row of
+// Fig 4, independently runnable: each call builds fresh machines.
+func fig04Row(size int64) Part {
+	const measureOps = 60000
+	gs := machine.NewGS1280(machine.GS1280Config{W: 2, H: 1})
+	es := machine.NewSMP(machine.ES45Config())
+	old := machine.NewSMP(machine.GS320Config(4))
+	return Part{Rows: [][]string{{byteSize(size),
+		fns(chaseLatency(gs, size, 64, measureOps)),
+		fns(chaseLatency(es, size, 64, measureOps)),
+		fns(chaseLatency(old, size, 64, measureOps))}}}
+}
+
+func fig04Assemble(parts []Part) *Table {
+	t := assemble(&Table{
 		ID:     "fig4",
 		Title:  "Dependent load latency (ns) vs dataset size",
 		Header: []string{"dataset", "GS1280/1.15GHz", "ES45/1.25GHz", "GS320/1.22GHz"},
-	}
-	const measureOps = 60000
-	for _, size := range sizes {
-		gs := machine.NewGS1280(machine.GS1280Config{W: 2, H: 1})
-		es := machine.NewSMP(machine.ES45Config())
-		old := machine.NewSMP(machine.GS320Config(4))
-		t.AddRow(byteSize(size),
-			fns(chaseLatency(gs, size, 64, measureOps)),
-			fns(chaseLatency(es, size, 64, measureOps)),
-			fns(chaseLatency(old, size, 64, measureOps)))
-	}
+	}, parts)
 	t.AddNote("paper: GS1280 3.8x lower latency at 32MB; slower only between 1.75MB and 16MB")
 	return t
+}
+
+// fig04Spec exposes the dataset-size sweep as one unit per size.
+func fig04Spec() Spec {
+	return Spec{
+		ID: "fig4",
+		Units: func(q bool) []Unit {
+			sizes := Fig04Sizes
+			if q {
+				sizes = quickSizes
+			}
+			return sweepUnits(sizes,
+				func(size int64) string { return fmt.Sprintf("fig4[%s]", byteSize(size)) },
+				fig04Row)
+		},
+		Assemble: func(_ bool, parts []Part) *Table { return fig04Assemble(parts) },
+	}
 }
 
 // Fig05Strides and Fig05Sizes span the Fig 5 surface.

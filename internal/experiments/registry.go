@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 
 	"gs1280/internal/sim"
 )
@@ -16,133 +15,201 @@ const (
 
 var quickSizes = []int64{16 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 32 << 20}
 
-// Runner regenerates one paper artifact. quick trades sweep density for
-// runtime without changing the experiment's structure.
+// Runner regenerates one paper artifact serially. quick trades sweep
+// density for runtime without changing the experiment's structure.
 type Runner func(quick bool) *Table
 
-// Registry maps experiment ids (fig1, fig4, ..., tab1) to runners.
-func Registry() map[string]Runner {
-	return map[string]Runner{
-		"fig1": func(bool) *Table { return Fig01SPECfpRate(nil) },
-		"fig4": func(q bool) *Table {
-			if q {
-				return Fig04DependentLoad(quickSizes)
-			}
-			return Fig04DependentLoad(nil)
+// Part is one unit's contribution to an experiment's table: either a
+// consecutive run of rows (plus any notes the unit derived from its own
+// measurements), or — for experiments that run as a single unit — the
+// whole Table.
+type Part struct {
+	Rows  [][]string
+	Notes []string
+	Table *Table
+}
+
+// Unit is one independently runnable slice of an experiment. Each unit
+// builds its own machines and engine and shares no mutable state with its
+// siblings, so a scheduler is free to run the units of one experiment — or
+// of many — in any order and on any goroutine. Output determinism is
+// restored at assembly time: parts are merged in declared unit order, not
+// completion order.
+type Unit struct {
+	// Name identifies the unit in progress output, e.g. "fig4[32m]".
+	Name string
+	// Run executes the unit's simulations and returns its part of the
+	// table. It must be self-contained and deterministic.
+	Run func() Part
+}
+
+// Spec declares one experiment in parallelizable form: how a run splits
+// into independent units, and how the units' parts (delivered in Units
+// order regardless of execution order) assemble into the final table.
+// Sweep-style experiments (fig4, fig14, fig15, fig23) expose one unit per
+// sweep point; the rest are single-unit.
+type Spec struct {
+	ID       string
+	Units    func(quick bool) []Unit
+	Assemble func(quick bool, parts []Part) *Table
+}
+
+// Runner flattens the spec back into a serial runner: units executed in
+// order on the calling goroutine, then assembled. Registry is built from
+// this, so serial and parallel runs share one code path per experiment.
+func (s Spec) Runner() Runner {
+	return func(quick bool) *Table {
+		units := s.Units(quick)
+		parts := make([]Part, len(units))
+		for i, u := range units {
+			parts[i] = u.Run()
+		}
+		return s.Assemble(quick, parts)
+	}
+}
+
+// whole wraps a monolithic experiment as a single-unit Spec.
+func whole(id string, run Runner) Spec {
+	return Spec{
+		ID: id,
+		Units: func(q bool) []Unit {
+			return []Unit{{Name: id, Run: func() Part { return Part{Table: run(q)} }}}
 		},
-		"fig5": func(q bool) *Table {
+		Assemble: func(_ bool, parts []Part) *Table { return parts[0].Table },
+	}
+}
+
+// sweepUnits builds one Unit per sweep point: name labels the point for
+// progress output, run measures it. The shared shape of every sweep-style
+// Spec (fig4, fig14, fig15, fig23).
+func sweepUnits[T any](points []T, name func(T) string, run func(T) Part) []Unit {
+	units := make([]Unit, len(points))
+	for i, p := range points {
+		p := p
+		units[i] = Unit{Name: name(p), Run: func() Part { return run(p) }}
+	}
+	return units
+}
+
+// assemble appends each part's rows and notes to t in part order.
+func assemble(t *Table, parts []Part) *Table {
+	for _, p := range parts {
+		t.Rows = append(t.Rows, p.Rows...)
+		t.Notes = append(t.Notes, p.Notes...)
+	}
+	return t
+}
+
+// Specs lists every experiment in paper order (fig1..fig15, tab1,
+// fig18..fig28, then the ablation companion).
+func Specs() []Spec {
+	return []Spec{
+		whole("fig1", func(bool) *Table { return Fig01SPECfpRate(nil) }),
+		fig04Spec(),
+		whole("fig5", func(q bool) *Table {
 			if q {
 				return Fig05StrideSweep([]int64{64 << 10, 1 << 20, 4 << 20}, []int64{64, 1 << 10, 16 << 10})
 			}
 			return Fig05StrideSweep(nil, nil)
-		},
-		"fig6": func(q bool) *Table {
+		}),
+		whole("fig6", func(q bool) *Table {
 			if q {
 				return Fig06StreamScaling([]int{1, 4, 16})
 			}
 			return Fig06StreamScaling(nil)
-		},
-		"fig7":  func(bool) *Table { return Fig07Stream1v4() },
-		"fig8":  func(bool) *Table { return Fig08IPCfp() },
-		"fig9":  func(bool) *Table { return Fig09IPCint() },
-		"fig10": func(bool) *Table { return Fig10UtilFp() },
-		"fig11": func(bool) *Table { return Fig11UtilInt() },
-		"fig12": func(bool) *Table { return Fig12RemoteLatency() },
-		"fig13": func(bool) *Table { return Fig13LatencyMatrix() },
-		"fig14": func(q bool) *Table {
-			if q {
-				return Fig14AvgLatency([]int{4, 16, 64})
-			}
-			return Fig14AvgLatency(nil)
-		},
-		"fig15": func(q bool) *Table {
-			if q {
-				return Fig15LoadTest([]int{1, 8, 30}, quickWarm, quickMeasure)
-			}
-			return Fig15LoadTest(nil, 0, 0)
-		},
-		"tab1": func(bool) *Table { return Tab1ShuffleAnalytic() },
-		"fig18": func(q bool) *Table {
+		}),
+		whole("fig7", func(bool) *Table { return Fig07Stream1v4() }),
+		whole("fig8", func(bool) *Table { return Fig08IPCfp() }),
+		whole("fig9", func(bool) *Table { return Fig09IPCint() }),
+		whole("fig10", func(bool) *Table { return Fig10UtilFp() }),
+		whole("fig11", func(bool) *Table { return Fig11UtilInt() }),
+		whole("fig12", func(bool) *Table { return Fig12RemoteLatency() }),
+		whole("fig13", func(bool) *Table { return Fig13LatencyMatrix() }),
+		fig14Spec(),
+		fig15Spec(),
+		whole("tab1", func(bool) *Table { return Tab1ShuffleAnalytic() }),
+		whole("fig18", func(q bool) *Table {
 			if q {
 				return Fig18ShuffleMeasured([]int{2, 8}, quickWarm, quickMeasure)
 			}
 			return Fig18ShuffleMeasured(nil, 0, 0)
-		},
-		"fig19": func(q bool) *Table {
+		}),
+		whole("fig19", func(q bool) *Table {
 			if q {
 				return Fig19Fluent([]int{4, 16}, quickWarm, quickMeasure)
 			}
 			return Fig19Fluent(nil, 0, 0)
-		},
-		"fig20": func(bool) *Table { return Fig20FluentUtil() },
-		"fig21": func(q bool) *Table {
+		}),
+		whole("fig20", func(bool) *Table { return Fig20FluentUtil() }),
+		whole("fig21", func(q bool) *Table {
 			if q {
 				return Fig21NASSP([]int{4, 16}, quickWarm, quickMeasure)
 			}
 			return Fig21NASSP(nil, 0, 0)
-		},
-		"fig22": func(bool) *Table { return Fig22SPUtil() },
-		"fig23": func(q bool) *Table {
-			if q {
-				return Fig23GUPS([]int{4, 16, 32}, quickWarm, quickMeasure)
-			}
-			return Fig23GUPS(nil, 0, 0)
-		},
-		"fig24": func(bool) *Table { return Fig24GUPSUtil() },
-		"fig25": func(bool) *Table { return Fig25StripingDegradation() },
-		"fig26": func(q bool) *Table {
+		}),
+		whole("fig22", func(bool) *Table { return Fig22SPUtil() }),
+		fig23Spec(),
+		whole("fig24", func(bool) *Table { return Fig24GUPSUtil() }),
+		whole("fig25", func(bool) *Table { return Fig25StripingDegradation() }),
+		whole("fig26", func(q bool) *Table {
 			if q {
 				return Fig26HotSpotStriping([]int{2, 16}, quickWarm, quickMeasure)
 			}
 			return Fig26HotSpotStriping(nil, 0, 0)
-		},
-		"fig27": func(bool) *Table { return Fig27Xmesh() },
-		"fig28": func(q bool) *Table {
+		}),
+		whole("fig27", func(bool) *Table { return Fig27Xmesh() }),
+		whole("fig28", func(q bool) *Table {
 			if q {
 				return Fig28Summary(quickWarm, quickMeasure)
 			}
 			return Fig28Summary(0, 0)
-		},
-		"ablation": func(q bool) *Table {
+		}),
+		whole("ablation", func(q bool) *Table {
 			if q {
 				return AblationLoadTest([]int{4, 30}, quickWarm, quickMeasure)
 			}
 			return AblationLoadTest(nil, 20*sim.Microsecond, 60*sim.Microsecond)
-		},
+		}),
 	}
 }
 
-// IDs reports all experiment ids in a stable order.
-func IDs() []string {
-	reg := Registry()
-	ids := make([]string, 0, len(reg))
-	for id := range reg {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool {
-		// tab1 sorts between fig15 and fig18, matching the paper's order.
-		rank := func(s string) int {
-			switch s {
-			case "tab1":
-				return 16
-			case "ablation":
-				return 99
-			default:
-				var n int
-				fmt.Sscanf(s, "fig%d", &n)
-				return n
-			}
+// SpecByID looks up one experiment's Spec.
+func SpecByID(id string) (Spec, bool) {
+	for _, s := range Specs() {
+		if s.ID == id {
+			return s, true
 		}
-		return rank(ids[i]) < rank(ids[j])
-	})
+	}
+	return Spec{}, false
+}
+
+// Registry maps experiment ids (fig1, fig4, ..., tab1) to serial runners.
+// It is derived from Specs; parallel execution goes through Specs directly
+// (see internal/runner).
+func Registry() map[string]Runner {
+	specs := Specs()
+	reg := make(map[string]Runner, len(specs))
+	for _, s := range specs {
+		reg[s.ID] = s.Runner()
+	}
+	return reg
+}
+
+// IDs reports all experiment ids in paper order (the order of Specs).
+func IDs() []string {
+	specs := Specs()
+	ids := make([]string, len(specs))
+	for i, s := range specs {
+		ids[i] = s.ID
+	}
 	return ids
 }
 
-// Run executes the experiment with the given id.
+// Run executes the experiment with the given id serially.
 func Run(id string, quick bool) (*Table, error) {
-	r, ok := Registry()[id]
+	s, ok := SpecByID(id)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown id %q (see IDs())", id)
 	}
-	return r(quick), nil
+	return s.Runner()(quick), nil
 }

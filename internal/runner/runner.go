@@ -1,0 +1,186 @@
+// Package runner executes experiment suites concurrently.
+//
+// Every experiment — and every sweep point inside the sweep-style
+// experiments — is an independent single-goroutine simulation (see
+// experiments.Unit), so a full suite is embarrassingly parallel. Run
+// flattens the requested experiments into one pool of units and fans them
+// across a fixed set of workers, saturating the host while each individual
+// simulation stays single-threaded and deterministic.
+//
+// Determinism is preserved by separating execution order from output
+// order: units may finish in any interleaving, but each part is stored at
+// its declared unit index and tables are assembled in that order, so the
+// rendered output is byte-identical for any worker count.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gs1280/internal/experiments"
+)
+
+// Options configure a Run.
+type Options struct {
+	// Workers is the number of concurrent unit executors. Zero or
+	// negative means runtime.GOMAXPROCS(0) — one worker per available
+	// core.
+	Workers int
+	// Quick selects the reduced sweeps (see package experiments).
+	Quick bool
+	// OnUnit, if non-nil, is called after every completed unit. Calls are
+	// serialized and report suite-wide progress; keep the callback cheap,
+	// as it briefly blocks result bookkeeping.
+	OnUnit func(UnitDone)
+}
+
+// UnitDone describes one completed unit for progress reporting.
+type UnitDone struct {
+	Experiment string        // experiment id, e.g. "fig15"
+	Unit       string        // unit name, e.g. "fig15[GS1280/32P,k=8]"
+	Done       int           // units completed so far, suite-wide
+	Total      int           // total units in the suite
+	Elapsed    time.Duration // this unit's wall-clock
+}
+
+// Result is one experiment's outcome. Results are returned in request
+// order regardless of completion order.
+type Result struct {
+	ID    string
+	Table *experiments.Table // nil when Err is set
+	Err   error              // unknown id, or the context's error if cancelled
+	Units int                // number of units the experiment split into
+	// Work sums the wall-clock of the experiment's units — the cost a
+	// serial run would pay. Elapsed spans the first unit starting to the
+	// table being assembled. Work/Elapsed approximates the parallel
+	// speed-up this experiment saw.
+	Work    time.Duration
+	Elapsed time.Duration
+}
+
+// expState tracks one in-flight experiment. Fields past units are guarded
+// by Run's mutex.
+type expState struct {
+	spec      experiments.Spec
+	units     []experiments.Unit
+	parts     []experiments.Part
+	remaining int
+	started   bool
+	start     time.Time
+	work      time.Duration
+}
+
+// Run executes the experiments named by ids, fanning their units across
+// opts.Workers goroutines, and returns one Result per id in order.
+//
+// Unknown ids are reported in the corresponding Result.Err; they do not
+// abort the rest of the suite. Cancelling ctx stops dispatching further
+// units (units already executing run to completion — a simulation is not
+// interruptible), marks unfinished experiments with the context's error,
+// and returns that error alongside the completed results.
+func Run(ctx context.Context, ids []string, opts Options) ([]Result, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	results := make([]Result, len(ids))
+	states := make([]*expState, len(ids))
+	type job struct{ exp, unit int }
+	var jobs []job
+	for i, id := range ids {
+		results[i].ID = id
+		spec, ok := experiments.SpecByID(id)
+		if !ok {
+			results[i].Err = fmt.Errorf("runner: unknown experiment id %q (see experiments.IDs)", id)
+			continue
+		}
+		units := spec.Units(opts.Quick)
+		states[i] = &expState{
+			spec:      spec,
+			units:     units,
+			parts:     make([]experiments.Part, len(units)),
+			remaining: len(units),
+		}
+		results[i].Units = len(units)
+		for u := range units {
+			jobs = append(jobs, job{exp: i, unit: u})
+		}
+	}
+	total := len(jobs)
+
+	var (
+		mu   sync.Mutex
+		done int
+		wg   sync.WaitGroup
+	)
+	jobCh := make(chan job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				if ctx.Err() != nil {
+					continue // cancelled: drain the queue without running
+				}
+				st := states[j.exp]
+				start := time.Now()
+				mu.Lock()
+				if !st.started {
+					st.started, st.start = true, start
+				}
+				mu.Unlock()
+
+				part := st.units[j.unit].Run()
+				elapsed := time.Since(start)
+
+				mu.Lock()
+				st.parts[j.unit] = part
+				st.work += elapsed
+				st.remaining--
+				last := st.remaining == 0
+				done++
+				if opts.OnUnit != nil {
+					opts.OnUnit(UnitDone{
+						Experiment: results[j.exp].ID,
+						Unit:       st.units[j.unit].Name,
+						Done:       done,
+						Total:      total,
+						Elapsed:    elapsed,
+					})
+				}
+				mu.Unlock()
+
+				if last {
+					// The worker finishing the final unit assembles; parts
+					// are merged in unit order, so the table is identical
+					// whatever the completion interleaving was.
+					tab := st.spec.Assemble(opts.Quick, st.parts)
+					mu.Lock()
+					results[j.exp].Table = tab
+					results[j.exp].Work = st.work
+					results[j.exp].Elapsed = time.Since(st.start)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		for i, st := range states {
+			if st != nil && results[i].Table == nil && results[i].Err == nil {
+				results[i].Err = err
+			}
+		}
+		return results, err
+	}
+	return results, nil
+}

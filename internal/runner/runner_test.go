@@ -1,0 +1,154 @@
+package runner
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"gs1280/internal/experiments"
+)
+
+// render flattens a result list into the exact bytes gsbench would print.
+func render(t *testing.T, results []Result) string {
+	t.Helper()
+	var b strings.Builder
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.ID, r.Err)
+		}
+		b.WriteString(r.Table.String())
+	}
+	return b.String()
+}
+
+// TestDeterminismAcrossWorkerCounts is the acceptance check: the sweep
+// experiments decomposed into per-point units must render byte-identically
+// for -j 1 and -j 8.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	ids := []string{"fig4", "fig14", "fig15", "fig23"}
+	serial, err := Run(context.Background(), ids, Options{Workers: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(context.Background(), ids, Options{Workers: 8, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := render(t, serial), render(t, parallel)
+	if want != got {
+		t.Errorf("-j 1 and -j 8 outputs differ:\n--- j=1 ---\n%s\n--- j=8 ---\n%s", want, got)
+	}
+}
+
+// TestSerialRunnerEquivalence pins the parallel path to the public serial
+// API: runner output must match experiments.Run exactly.
+func TestSerialRunnerEquivalence(t *testing.T) {
+	ids := []string{"fig4", "fig23"}
+	results, err := Run(context.Background(), ids, Options{Workers: 4, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		want, err := experiments.Run(id, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := results[i].Table.String(); got != want.String() {
+			t.Errorf("%s: parallel table differs from experiments.Run:\n%s\nvs\n%s", id, got, want)
+		}
+	}
+}
+
+func TestResultOrderAndAccounting(t *testing.T) {
+	ids := []string{"fig14", "fig4"}
+	results, err := Run(context.Background(), ids, Options{Workers: 4, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].ID != "fig14" || results[1].ID != "fig4" {
+		t.Fatalf("results out of request order: %+v", results)
+	}
+	for _, r := range results {
+		if r.Units < 2 {
+			t.Errorf("%s: expected a multi-unit sweep, got %d units", r.ID, r.Units)
+		}
+		if r.Work <= 0 || r.Elapsed <= 0 {
+			t.Errorf("%s: missing wall-clock accounting: work=%v elapsed=%v", r.ID, r.Work, r.Elapsed)
+		}
+	}
+}
+
+func TestUnknownIDDoesNotAbortSuite(t *testing.T) {
+	results, err := Run(context.Background(), []string{"nope", "fig14"}, Options{Workers: 2, Quick: true})
+	if err != nil {
+		t.Fatalf("unknown id should not fail the run: %v", err)
+	}
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "nope") {
+		t.Errorf("want unknown-id error naming %q, got %v", "nope", results[0].Err)
+	}
+	if results[1].Err != nil || results[1].Table == nil {
+		t.Errorf("known experiment should still run: %+v", results[1])
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	results, err := Run(ctx, []string{"fig4", "fig14"}, Options{Workers: 2, Quick: true})
+	if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancelled run still took %v", elapsed)
+	}
+	for _, r := range results {
+		if r.Err != context.Canceled {
+			t.Errorf("%s: want context.Canceled, got %v", r.ID, r.Err)
+		}
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	var events []UnitDone
+	results, err := Run(context.Background(), []string{"fig14"}, Options{
+		Workers: 4,
+		Quick:   true,
+		OnUnit:  func(ev UnitDone) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != results[0].Units {
+		t.Fatalf("want %d progress events, got %d", results[0].Units, len(events))
+	}
+	for i, ev := range events {
+		if ev.Done != i+1 || ev.Total != results[0].Units {
+			t.Errorf("event %d: done/total = %d/%d, want %d/%d", i, ev.Done, ev.Total, i+1, results[0].Units)
+		}
+		if ev.Experiment != "fig14" || !strings.HasPrefix(ev.Unit, "fig14[") {
+			t.Errorf("event %d: unexpected labels %q %q", i, ev.Experiment, ev.Unit)
+		}
+		if ev.Elapsed <= 0 {
+			t.Errorf("event %d: missing elapsed", i)
+		}
+	}
+}
+
+// TestParallelismActuallyEngages makes sure units of one experiment really
+// do overlap when workers are available: a 4-worker run of the 15-unit
+// quick fig15 must finish in less wall-clock than its units' summed cost.
+func TestParallelismActuallyEngages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	results, err := Run(context.Background(), []string{"fig15"}, Options{Workers: 4, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Elapsed >= r.Work {
+		t.Errorf("4-worker run showed no overlap: elapsed %v >= summed work %v", r.Elapsed, r.Work)
+	}
+}

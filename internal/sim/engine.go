@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // event is a scheduled callback. seq breaks ties between events scheduled
 // for the same instant so execution order equals scheduling order, which
@@ -14,31 +11,24 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return ev
+// before reports whether ev sorts ahead of other in (time, seq) order.
+func (ev event) before(other event) bool {
+	return ev.at < other.at || (ev.at == other.at && ev.seq < other.seq)
 }
 
 // Engine is a deterministic discrete-event scheduler. The zero value is
 // ready to use. Engine is not safe for concurrent use; a simulation is a
-// single goroutine by design.
+// single goroutine by design — concurrency across simulations belongs to
+// internal/runner, which runs one Engine per worker.
+//
+// The pending-event queue is a hand-inlined binary min-heap of event
+// values ordered by (time, seq). Events are stored and moved by value in
+// one backing slice: scheduling and dispatch never box events into
+// interfaces (the allocation container/heap's interface{} API forces on
+// every Push), so the steady-state hot path — At followed by Step —
+// allocates only when the slice itself grows.
 type Engine struct {
-	heap     eventHeap
+	events   []event // binary min-heap; events[0] is the next event
 	now      Time
 	seq      uint64
 	executed uint64
@@ -56,7 +46,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending reports how many events are scheduled but not yet executed.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return len(e.events) }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it is always a model bug, and silently clamping would hide it.
@@ -65,7 +55,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current time. Negative delays panic.
@@ -76,13 +66,59 @@ func (e *Engine) After(d Time, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// push inserts ev, sifting it up from the tail. The hole technique (slide
+// parents down, place ev once) halves the element copies of the classic
+// swap loop.
+func (e *Engine) push(ev event) {
+	e.events = append(e.events, ev)
+	i := len(e.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !ev.before(e.events[parent]) {
+			break
+		}
+		e.events[i] = e.events[parent]
+		i = parent
+	}
+	e.events[i] = ev
+}
+
+// pop removes and returns the minimum event, sifting the displaced tail
+// element down from the root.
+func (e *Engine) pop() event {
+	top := e.events[0]
+	n := len(e.events) - 1
+	last := e.events[n]
+	e.events[n] = event{} // drop the fn reference so the closure can be collected
+	e.events = e.events[:n]
+	if n > 0 {
+		i := 0
+		for {
+			child := 2*i + 1
+			if child >= n {
+				break
+			}
+			if r := child + 1; r < n && e.events[r].before(e.events[child]) {
+				child = r
+			}
+			if !e.events[child].before(last) {
+				break
+			}
+			e.events[i] = e.events[child]
+			i = child
+		}
+		e.events[i] = last
+	}
+	return top
+}
+
 // Step executes the single next event. It reports false when no events
 // remain or Stop has been called.
 func (e *Engine) Step() bool {
-	if e.stopped || len(e.heap) == 0 {
+	if e.stopped || len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.heap).(event)
+	ev := e.pop()
 	e.now = ev.at
 	e.executed++
 	ev.fn()
@@ -99,7 +135,7 @@ func (e *Engine) Run() {
 // t (if it is ahead of the last event). Events scheduled beyond t remain
 // queued so the simulation can be resumed.
 func (e *Engine) RunUntil(t Time) {
-	for !e.stopped && len(e.heap) > 0 && e.heap[0].at <= t {
+	for !e.stopped && len(e.events) > 0 && e.events[0].at <= t {
 		e.Step()
 	}
 	if !e.stopped && e.now < t {

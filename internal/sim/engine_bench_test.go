@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// boxedHeap is the pre-optimization event queue: container/heap over a
+// value slice, whose interface{}-typed Push/Pop box every event. It is kept
+// here (test-only) as the baseline the inlined typed heap in Engine is
+// benchmarked against; run
+//
+//	go test ./internal/sim -bench Engine -benchmem
+//
+// and compare the Typed vs Boxed rows — the typed heap runs with zero
+// allocs/op in steady state.
+type boxedHeap []event
+
+func (h boxedHeap) Len() int { return len(h) }
+func (h boxedHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h boxedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *boxedHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *boxedHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}
+
+// boxedEngine is a minimal scheduler over boxedHeap, mirroring Engine's
+// At/Step loop closely enough for an apples-to-apples comparison.
+type boxedEngine struct {
+	heap boxedHeap
+	now  Time
+	seq  uint64
+}
+
+func (e *boxedEngine) at(t Time, fn func()) {
+	e.seq++
+	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+}
+
+func (e *boxedEngine) step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// The benchmark workload mirrors a simulation's steady state: a standing
+// population of pending events where each dispatched event schedules a
+// successor — the At-then-Step churn that dominates every experiment.
+const benchPending = 256
+
+func BenchmarkEngineChurnTyped(b *testing.B) {
+	e := NewEngine()
+	var reschedule func()
+	reschedule = func() { e.After(Time(e.seq%97+1)*Nanosecond, reschedule) }
+	for i := 0; i < benchPending; i++ {
+		e.After(Time(i+1)*Nanosecond, reschedule)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkEngineChurnBoxed(b *testing.B) {
+	e := &boxedEngine{}
+	var reschedule func()
+	reschedule = func() { e.at(e.now+Time(e.seq%97+1)*Nanosecond, reschedule) }
+	for i := 0; i < benchPending; i++ {
+		e.at(Time(i+1)*Nanosecond, reschedule)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.step()
+	}
+}
+
+// The fill/drain pair isolates scheduling-order insertion and ordered
+// removal without callback cost.
+func BenchmarkEngineFillDrainTyped(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < benchPending; j++ {
+			e.At(e.now+Time((j*2654435761)%1000+1)*Nanosecond, fn)
+		}
+		for e.Step() {
+		}
+	}
+}
+
+func BenchmarkEngineFillDrainBoxed(b *testing.B) {
+	e := &boxedEngine{}
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < benchPending; j++ {
+			e.at(e.now+Time((j*2654435761)%1000+1)*Nanosecond, fn)
+		}
+		for e.step() {
+		}
+	}
+}

@@ -26,8 +26,8 @@ func NewTorus(w, h int) *Topology {
 // row. For taller machines the vertical wrap cable is twisted to land W/2
 // columns away — (x, H-1) connects to (x+W/2, 0) — which reproduces the
 // paper's Table 1 exactly for 4x4 (1.067 average, 1.333 worst-case gain)
-// and the 1.5x worst-case gain of the rectangular sizes; see EXPERIMENTS.md
-// for the full comparison.
+// and the 1.5x worst-case gain of the rectangular sizes; `gsbench -run
+// tab1` prints the full paper-vs-model comparison.
 func NewShuffle(w, h int) *Topology {
 	if w%2 != 0 {
 		panic("topology: shuffle requires even width")
