@@ -27,11 +27,15 @@ func main() {
 	for i := range streams {
 		streams[i] = gs1280.NewGUPS(0, m.TotalMemory(), 1<<30, uint64(i+1))
 	}
-	interval := gs1280.RunStreamsTimed(m, streams, 20*gs1280.Microsecond, 100*gs1280.Microsecond)
+	run := gs1280.RunStreamsTimed(m, streams, 20*gs1280.Microsecond, 100*gs1280.Microsecond)
+	if run.Interval <= 0 {
+		fmt.Println("GUPS streams drained before the measurement window")
+		return
+	}
 	var updates uint64
 	for i := 0; i < m.N(); i++ {
 		updates += m.CPU(i).Stats().Ops
 	}
 	fmt.Printf("GUPS on 16 CPUs:       %.0f Mupdates/s\n",
-		float64(updates)/interval.Seconds()/1e6)
+		float64(updates)/run.Interval.Seconds()/1e6)
 }

@@ -16,7 +16,7 @@ func curve(shuffle bool, policy gs1280.RoutePolicy, outstanding int) (bwMB, latN
 		m.CPU(i).SetMLP(outstanding)
 		streams[i] = gs1280.NewLoadTest(i, m.N(), m.RegionBytes(), 1<<30, uint64(i+1))
 	}
-	interval := gs1280.RunStreamsTimed(m, streams,
+	run := gs1280.RunStreamsTimed(m, streams,
 		20*gs1280.Microsecond, 60*gs1280.Microsecond)
 	var ops uint64
 	var lat gs1280.Time
@@ -25,7 +25,10 @@ func curve(shuffle bool, policy gs1280.RoutePolicy, outstanding int) (bwMB, latN
 		ops += st.Ops
 		lat += st.LatencySum
 	}
-	return float64(ops) * 64 / interval.Seconds() / 1e6,
+	if ops == 0 || run.Interval <= 0 {
+		return 0, 0 // streams drained before the measurement window
+	}
+	return float64(ops) * 64 / run.Interval.Seconds() / 1e6,
 		(lat / gs1280.Time(ops)).Nanoseconds()
 }
 

@@ -14,13 +14,16 @@ func triad(m gs1280.AnyMachine, n int) float64 {
 	for i := 0; i < n; i++ {
 		streams[i] = gs1280.NewTriad(m.RegionBase(i), 8<<20, 1<<20)
 	}
-	interval := gs1280.RunStreamsTimed(m, streams,
+	run := gs1280.RunStreamsTimed(m, streams,
 		20*gs1280.Microsecond, 100*gs1280.Microsecond)
+	if run.Interval <= 0 {
+		return 0 // streams drained before the measurement window
+	}
 	var ops uint64
 	for i := 0; i < n; i++ {
 		ops += m.CPU(i).Stats().Ops
 	}
-	return float64(ops) * 64 / interval.Seconds() / 1e9
+	return float64(ops) * 64 / run.Interval.Seconds() / 1e9
 }
 
 func main() {

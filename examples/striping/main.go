@@ -17,13 +17,16 @@ func hotspot(striped bool) float64 {
 	for i := 1; i < m.N(); i++ {
 		streams[i] = gs1280.NewHotSpot(m.RegionBase(0), m.RegionBytes(), 1<<30, uint64(i))
 	}
-	interval := gs1280.RunStreamsTimed(m, streams,
+	run := gs1280.RunStreamsTimed(m, streams,
 		20*gs1280.Microsecond, 60*gs1280.Microsecond)
+	if run.Interval <= 0 {
+		return 0 // streams drained before the measurement window
+	}
 	var ops uint64
 	for i := 1; i < m.N(); i++ {
 		ops += m.CPU(i).Stats().Ops
 	}
-	return float64(ops) * 64 / interval.Seconds() / 1e6
+	return float64(ops) * 64 / run.Interval.Seconds() / 1e6
 }
 
 // local runs a private pointer chase per CPU (a throughput workload) and

@@ -141,9 +141,16 @@ func NewMix(m Mix, seed uint64) Stream { return workload.NewMix(m, seed) }
 // simulation until every stream completes.
 func RunStreams(m AnyMachine, streams []Stream) { workload.Run(m, streams) }
 
+// TimedRun reports a timed run's measured interval and whether the
+// streams drained before the measurement window closed (see
+// workload.TimedRun).
+type TimedRun = workload.TimedRun
+
 // RunStreamsTimed starts the streams, warms for warmup, clears statistics,
-// then measures for measure; it returns the measured interval.
-func RunStreamsTimed(m AnyMachine, streams []Stream, warmup, measure Time) Time {
+// then measures for measure; it returns the measured interval and an
+// early-drain flag. Check Drained (or Interval > 0) before dividing by
+// the interval: streams that finish inside warmup measure nothing.
+func RunStreamsTimed(m AnyMachine, streams []Stream, warmup, measure Time) TimedRun {
 	return workload.RunTimed(m, streams, warmup, measure)
 }
 

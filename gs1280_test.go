@@ -26,9 +26,9 @@ func TestPublicWorkloadRun(t *testing.T) {
 	for i := range streams {
 		streams[i] = gs1280.NewGUPS(0, m.TotalMemory(), 1_000_000, uint64(i+1))
 	}
-	interval := gs1280.RunStreamsTimed(m, streams, 10*gs1280.Microsecond, 40*gs1280.Microsecond)
-	if interval != 40*gs1280.Microsecond {
-		t.Fatalf("interval = %v", interval)
+	run := gs1280.RunStreamsTimed(m, streams, 10*gs1280.Microsecond, 40*gs1280.Microsecond)
+	if run.Interval != 40*gs1280.Microsecond || run.Drained {
+		t.Fatalf("run = %+v", run)
 	}
 	total := uint64(0)
 	for i := 0; i < m.N(); i++ {
@@ -78,8 +78,8 @@ func TestXmeshRender(t *testing.T) {
 
 func TestExperimentRegistryExposed(t *testing.T) {
 	ids := gs1280.ExperimentIDs()
-	if len(ids) != 26 {
-		t.Fatalf("%d experiment ids, want 26 (24 figures + table 1 + ablation)", len(ids))
+	if len(ids) != 30 {
+		t.Fatalf("%d experiment ids, want 30 (24 figures + table 1 + fig16x17 + 3 saturation sweeps + ablation)", len(ids))
 	}
 	if ids[0] != "fig1" || ids[len(ids)-1] != "ablation" {
 		t.Fatalf("unexpected ordering: %v", ids)

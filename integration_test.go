@@ -36,12 +36,15 @@ func TestIntegrationStripingTradeoffEndToEnd(t *testing.T) {
 		for i := 1; i < m.N(); i++ {
 			streams[i] = gs1280.NewHotSpot(m.RegionBase(0), m.RegionBytes(), 1<<30, uint64(i))
 		}
-		interval := gs1280.RunStreamsTimed(m, streams, 10*gs1280.Microsecond, 30*gs1280.Microsecond)
+		run := gs1280.RunStreamsTimed(m, streams, 10*gs1280.Microsecond, 30*gs1280.Microsecond)
+		if run.Drained || run.Interval <= 0 {
+			t.Fatalf("hot-spot streams drained before measurement: %+v", run)
+		}
 		var ops uint64
 		for i := 1; i < m.N(); i++ {
 			ops += m.CPU(i).Stats().Ops
 		}
-		return float64(ops) / interval.Seconds()
+		return float64(ops) / run.Interval.Seconds()
 	}
 	if gain := hotspot(true) / hotspot(false); gain < 1.2 {
 		t.Errorf("striping hot-spot gain = %.2f, want substantial", gain)
@@ -67,12 +70,15 @@ func TestIntegrationShuffleBeatsTorusUnderLoad(t *testing.T) {
 			m.CPU(i).SetMLP(8)
 			streams[i] = gs1280.NewLoadTest(i, m.N(), m.RegionBytes(), 1<<30, uint64(i+1))
 		}
-		interval := gs1280.RunStreamsTimed(m, streams, 10*gs1280.Microsecond, 40*gs1280.Microsecond)
+		run := gs1280.RunStreamsTimed(m, streams, 10*gs1280.Microsecond, 40*gs1280.Microsecond)
+		if run.Drained || run.Interval <= 0 {
+			t.Fatalf("load-test streams drained before measurement: %+v", run)
+		}
 		var ops uint64
 		for i := 0; i < m.N(); i++ {
 			ops += m.CPU(i).Stats().Ops
 		}
-		return float64(ops) * 64 / interval.Seconds()
+		return float64(ops) * 64 / run.Interval.Seconds()
 	}
 	torus := run(false, gs1280.RouteAdaptive)
 	shuffle := run(true, gs1280.RouteShuffle1Hop)

@@ -46,7 +46,8 @@ func AblationLoadTest(outstanding []int, warm, measure sim.Time) *Table {
 		for _, p := range loadTest(func() machine.Machine {
 			return machine.NewGS1280(cfg)
 		}, outstanding, warm, measure) {
-			t.AddRow(v.name, fmt.Sprintf("%d", p.Outstanding), f1(p.BandwidthMB), f1(p.LatencyNs))
+			bw, lat := loadCells(p)
+			t.AddRow(v.name, fmt.Sprintf("%d", p.Outstanding), bw, lat)
 		}
 	}
 	// The open-page policy only matters for sequential traffic (random

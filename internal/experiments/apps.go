@@ -82,12 +82,15 @@ func warmFootprints(m machine.Machine, n int, c appClass) {
 // per second.
 func appRate(m machine.Machine, n int, c appClass, warm, measure sim.Time) float64 {
 	warmFootprints(m, n, c)
-	interval := workload.RunTimed(m, mixStreams(m, n, c), warm, measure)
+	run := workload.RunTimed(m, mixStreams(m, n, c), warm, measure)
 	var ops uint64
 	for i := 0; i < n; i++ {
 		ops += m.CPU(i).Stats().Ops
 	}
-	return float64(ops) / interval.Seconds()
+	if ops == 0 || run.Interval <= 0 {
+		return 0 // drained before measurement; no sustained rate to report
+	}
+	return float64(ops) / run.Interval.Seconds()
 }
 
 // appCounts is the CPU sweep for Figs 19/21.
@@ -284,12 +287,15 @@ func gupsRate(m machine.Machine, n int, warm, measure sim.Time) float64 {
 	for i := 0; i < n; i++ {
 		ss[i] = workload.NewGUPS(0, total, 1<<30, uint64(i*104729+7))
 	}
-	interval := workload.RunTimed(m, ss, warm, measure)
+	run := workload.RunTimed(m, ss, warm, measure)
 	var ops uint64
 	for i := 0; i < n; i++ {
 		ops += m.CPU(i).Stats().Ops
 	}
-	return float64(ops) / interval.Seconds() / 1e6
+	if ops == 0 || run.Interval <= 0 {
+		return 0 // drained before measurement; no sustained rate to report
+	}
+	return float64(ops) / run.Interval.Seconds() / 1e6
 }
 
 // Fig24GUPSUtil regenerates Fig 24: per-direction link utilization during

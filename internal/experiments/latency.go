@@ -153,10 +153,21 @@ func fig14Spec() Spec {
 }
 
 // LoadPoint is one (bandwidth, latency) sample of a load-test curve.
+// Drained marks a sample whose streams ran dry before the measurement
+// window closed; its numeric fields are zero and tables render "drained".
 type LoadPoint struct {
 	Outstanding int
 	BandwidthMB float64
 	LatencyNs   float64
+	Drained     bool
+}
+
+// loadCells renders a LoadPoint's bandwidth and latency table cells.
+func loadCells(p LoadPoint) (bw, lat string) {
+	if p.Drained {
+		return "drained", "drained"
+	}
+	return f1(p.BandwidthMB), f1(p.LatencyNs)
 }
 
 // loadTest sweeps outstanding references on m (every CPU doing uniform
@@ -166,7 +177,7 @@ func loadTest(mk func() machine.Machine, outstanding []int, warm, measure sim.Ti
 	for _, k := range outstanding {
 		m := mk()
 		ss := makeLoadStreams(m, k)
-		interval := workload.RunTimed(m, ss, warm, measure)
+		run := workload.RunTimed(m, ss, warm, measure)
 		var ops uint64
 		var latSum sim.Time
 		for i := 0; i < m.N(); i++ {
@@ -174,12 +185,19 @@ func loadTest(mk func() machine.Machine, outstanding []int, warm, measure sim.Ti
 			ops += st.Ops
 			latSum += st.LatencySum
 		}
-		if ops == 0 {
+		if run.Drained && (ops == 0 || run.Interval <= 0) {
+			// The streams finished inside warmup: there is nothing to
+			// measure, and dividing by the (zero) interval would emit
+			// Inf/NaN. Surface the drain instead.
+			pts = append(pts, LoadPoint{Outstanding: k, Drained: true})
 			continue
+		}
+		if ops == 0 {
+			continue // saturated sample: nothing completed, skip the row
 		}
 		pts = append(pts, LoadPoint{
 			Outstanding: k,
-			BandwidthMB: float64(ops) * 64 / interval.Seconds() / 1e6,
+			BandwidthMB: float64(ops) * 64 / run.Interval.Seconds() / 1e6,
 			LatencyNs:   (latSum / sim.Time(ops)).Nanoseconds(),
 		})
 	}
@@ -232,8 +250,8 @@ func fig15Configs() []fig15Config {
 func fig15Point(c fig15Config, k int, warm, measure sim.Time) Part {
 	var rows [][]string
 	for _, p := range loadTest(c.mk, []int{k}, warm, measure) {
-		rows = append(rows, []string{c.name, fmt.Sprintf("%d", p.Outstanding),
-			f1(p.BandwidthMB), f1(p.LatencyNs)})
+		bw, lat := loadCells(p)
+		rows = append(rows, []string{c.name, fmt.Sprintf("%d", p.Outstanding), bw, lat})
 	}
 	return Part{Rows: rows}
 }

@@ -135,12 +135,15 @@ func triadBandwidth(m machine.Machine, n int, arrayBytes int64, warm, measure si
 	}
 	m.Engine().Run()
 	m.ResetStats()
-	interval := workload.RunTimed(m, streams, warm, measure)
+	run := workload.RunTimed(m, streams, warm, measure)
 	var ops uint64
 	for i := 0; i < n; i++ {
 		ops += m.CPU(i).Stats().Ops
 	}
-	return float64(ops) * 64 / interval.Seconds() / 1e9
+	if ops == 0 || run.Interval <= 0 {
+		return 0 // drained before measurement; no sustained bandwidth to report
+	}
+	return float64(ops) * 64 / run.Interval.Seconds() / 1e9
 }
 
 // Fig06CPUCounts is the paper's scaling sweep.

@@ -128,6 +128,7 @@ func Specs() []Spec {
 		fig14Spec(),
 		fig15Spec(),
 		whole("tab1", func(bool) *Table { return Tab1ShuffleAnalytic() }),
+		fig1617Spec(),
 		whole("fig18", func(q bool) *Table {
 			if q {
 				return Fig18ShuffleMeasured([]int{2, 8}, quickWarm, quickMeasure)
@@ -164,6 +165,9 @@ func Specs() []Spec {
 			}
 			return Fig28Summary(0, 0)
 		}),
+		saturSpec("satur-uniform"),
+		saturSpec("satur-transpose"),
+		saturSpec("satur-hotspot"),
 		whole("ablation", func(q bool) *Table {
 			if q {
 				return AblationLoadTest([]int{4, 30}, quickWarm, quickMeasure)

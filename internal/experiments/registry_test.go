@@ -25,6 +25,13 @@ func TestIDsPaperOrder(t *testing.T) {
 	if !(idx["fig15"] < idx["tab1"] && idx["tab1"] < idx["fig18"]) {
 		t.Errorf("tab1 not between fig15 and fig18: %v", ids)
 	}
+	if !(idx["tab1"] < idx["fig16x17"] && idx["fig16x17"] < idx["fig18"]) {
+		t.Errorf("fig16x17 not in the Figs 16/17 gap: %v", ids)
+	}
+	if !(idx["fig28"] < idx["satur-uniform"] && idx["satur-uniform"] < idx["satur-transpose"] &&
+		idx["satur-transpose"] < idx["satur-hotspot"] && idx["satur-hotspot"] < idx["ablation"]) {
+		t.Errorf("saturation sweeps not between fig28 and ablation: %v", ids)
+	}
 	if idx["fig4"] > idx["fig14"] || idx["fig14"] > idx["fig23"] {
 		t.Errorf("figures out of ascending order: %v", ids)
 	}

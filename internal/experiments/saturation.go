@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gs1280/internal/network"
+	"gs1280/internal/sim"
+	"gs1280/internal/topology"
+	"gs1280/internal/traffic"
+)
+
+// The saturation experiments drive the interconnect with internal/traffic's
+// open-loop injector instead of the closed-loop CPU workloads: offered load
+// is swept from near-idle past the saturation knee, which is the classic
+// latency-vs-offered-load methodology (cf. the SPARC T3-4 and criticality
+// characterizations in PAPERS.md) the paper itself never plots. They also
+// fill the fig15 -> fig18 numbering gap: the paper's Figs 16/17 are shuffle
+// wiring diagrams with no measured counterpart, so fig16x17 maps latency
+// under load across traffic permutations and wirings.
+
+// SaturRates is the offered-load sweep of the satur-* experiments, in
+// packets per node per microsecond. The 64P torus saturates in the mid-40s
+// for adaptive uniform traffic (earlier for transpose and hotspot), so the
+// sweep spans idle to past the knee for every pattern.
+var SaturRates = []float64{2, 5, 10, 15, 20, 25, 30, 40, 50, 60}
+
+var saturQuickRates = []float64{5, 20, 60}
+
+// saturVariant is one routing policy of a saturation sweep.
+type saturVariant struct {
+	name            string
+	disableAdaptive bool
+}
+
+var saturVariants = []saturVariant{
+	{"adaptive", false},
+	{"deterministic", true},
+}
+
+// saturPattern maps a satur-* experiment id to its traffic pattern. The
+// hotspot target is node 0, matching the §6 hot-node experiments.
+func saturPattern(id string) traffic.Pattern {
+	switch id {
+	case "satur-uniform":
+		return traffic.Uniform()
+	case "satur-transpose":
+		return traffic.Transpose()
+	case "satur-hotspot":
+		return traffic.Hotspot(0, 0.2)
+	}
+	panic("experiments: no saturation pattern for id " + id)
+}
+
+// saturRun executes one offered-load point on a fresh engine and network.
+func saturRun(topo *topology.Topology, policy topology.RoutePolicy, disableAdaptive bool,
+	pattern traffic.Pattern, ratePerUs float64, warm, measure sim.Time, seed uint64) traffic.Result {
+	eng := sim.NewEngine()
+	params := network.DefaultParams()
+	params.Policy = policy
+	params.DisableAdaptive = disableAdaptive
+	net := network.New(eng, topo, params)
+	return traffic.Run(net, traffic.Config{
+		Pattern: pattern,
+		Rate:    ratePerUs / 1000, // table rates are per us; traffic wants per ns
+		Class:   network.Request,
+		Size:    network.DataPacketSize,
+		Seed:    seed,
+		Warmup:  warm,
+		Measure: measure,
+	})
+}
+
+// saturPoint measures one (routing, rate) sample of a satur-* sweep on the
+// 64-CPU (8x8) torus — one row, independently runnable.
+func saturPoint(id string, v saturVariant, ratePerUs float64, seed uint64, warm, measure sim.Time) Part {
+	topo := topology.NewTorus(8, 8)
+	res := saturRun(topo, topology.RouteAdaptive, v.disableAdaptive,
+		saturPattern(id), ratePerUs, warm, measure, seed)
+	return Part{Rows: [][]string{{
+		v.name,
+		fmt.Sprintf("%g", ratePerUs),
+		f1(res.DeliveredMBs()),
+		f1(res.AvgLatencyNs()),
+		f1(res.AcceptedFrac() * 100),
+		f1(res.AvgLinkUtil * 100),
+		f1(res.MaxLinkUtil * 100),
+		fmt.Sprintf("%d", res.PeakQueued),
+	}}}
+}
+
+func saturAssemble(id string, parts []Part) *Table {
+	t := assemble(&Table{
+		ID: id,
+		Title: fmt.Sprintf("Offered-load saturation sweep: %s traffic on the 64P (8x8) torus",
+			saturPattern(id).Name()),
+		Header: []string{"routing", "offered pkts/node/us", "delivered MB/s", "avg latency ns",
+			"accepted %", "avg util %", "max util %", "peak queue"},
+	}, parts)
+	t.AddNote("open loop: latency stays near zero-load to the knee, then source queues reject offered packets")
+	t.AddNote("adaptive routing holds the knee at higher load than the deterministic escape path")
+	return t
+}
+
+// saturSpec exposes one satur-* sweep as a unit per (routing, rate) point.
+func saturSpec(id string) Spec {
+	plan := func(q bool) ([]float64, sim.Time, sim.Time) {
+		if q {
+			return saturQuickRates, quickWarm, quickMeasure
+		}
+		return SaturRates, 15 * sim.Microsecond, 40 * sim.Microsecond
+	}
+	return Spec{
+		ID: id,
+		Units: func(q bool) []Unit {
+			rates, warm, measure := plan(q)
+			type point struct {
+				v         saturVariant
+				vi, ri    int
+				ratePerUs float64
+			}
+			var points []point
+			for vi, v := range saturVariants {
+				for ri, r := range rates {
+					points = append(points, point{v: v, vi: vi, ri: ri, ratePerUs: r})
+				}
+			}
+			return sweepUnits(points,
+				func(p point) string { return fmt.Sprintf("%s[%s,r=%g]", id, p.v.name, p.ratePerUs) },
+				func(p point) Part {
+					return saturPoint(id, p.v, p.ratePerUs,
+						uint64(p.vi*104729+p.ri*7919+1), warm, measure)
+				})
+		},
+		Assemble: func(_ bool, parts []Part) *Table { return saturAssemble(id, parts) },
+	}
+}
+
+// SaturIDs lists the offered-load sweep experiments.
+func SaturIDs() []string { return []string{"satur-uniform", "satur-transpose", "satur-hotspot"} }
+
+// fig1617Patterns are the permutations of the latency-under-load matrix.
+var fig1617Patterns = []struct {
+	name string
+	mk   func() traffic.Pattern
+}{
+	{"uniform", traffic.Uniform},
+	{"transpose", traffic.Transpose},
+	{"bit-complement", traffic.BitComplement},
+	{"neighbor", traffic.NearestNeighbor},
+	{"hotspot", func() traffic.Pattern { return traffic.Hotspot(0, 0.2) }},
+}
+
+// fig1617Loads are the offered loads of the matrix in packets per node per
+// microsecond: comfortably below the 16P torus knee, and near it.
+var fig1617Loads = []float64{10, 30}
+
+// fig1617Point measures one (pattern, load) row across the three wirings:
+// the standard torus with adaptive routing, the same torus restricted to
+// the deterministic escape path, and the §4.1 shuffle re-cabling with the
+// 2-hop chord policy.
+func fig1617Point(pi, li int, warm, measure sim.Time) Part {
+	pat := fig1617Patterns[pi]
+	load := fig1617Loads[li]
+	seed := uint64(pi*7919 + li*104729 + 1)
+	torus := topology.NewTorus(4, 4)
+	shuffle := topology.NewShuffle(4, 4)
+	adaptive := saturRun(torus, topology.RouteAdaptive, false, pat.mk(), load, warm, measure, seed)
+	escape := saturRun(torus, topology.RouteAdaptive, true, pat.mk(), load, warm, measure, seed)
+	chords := saturRun(shuffle, topology.RouteShuffle2Hop, false, pat.mk(), load, warm, measure, seed)
+	return Part{Rows: [][]string{{
+		pat.name,
+		fmt.Sprintf("%g", load),
+		f1(adaptive.AvgLatencyNs()),
+		f1(escape.AvgLatencyNs()),
+		f1(chords.AvgLatencyNs()),
+		f1(adaptive.DeliveredMBs()),
+		f1(escape.DeliveredMBs()),
+		f1(chords.DeliveredMBs()),
+	}}}
+}
+
+func fig1617Assemble(parts []Part) *Table {
+	t := assemble(&Table{
+		ID:    "fig16x17",
+		Title: "Figs 16/17 gap: latency under load across patterns and wirings (16P)",
+		Header: []string{"pattern", "offered pkts/node/us",
+			"torus-adaptive ns", "torus-escape ns", "shuffle-2hop ns",
+			"torus-adaptive MB/s", "torus-escape MB/s", "shuffle-2hop MB/s"},
+	}, parts)
+	t.AddNote("the paper's Figs 16/17 are wiring diagrams only; this matrix measures the wirings they describe")
+	t.AddNote("adaptive vs escape separates on permutations that fold load onto few paths (transpose, hotspot)")
+	return t
+}
+
+// fig1617Spec exposes the matrix as one unit per (pattern, load) row.
+func fig1617Spec() Spec {
+	plan := func(q bool) ([]int, sim.Time, sim.Time) {
+		if q {
+			return []int{1}, quickWarm, quickMeasure // near-knee load only
+		}
+		loads := make([]int, len(fig1617Loads))
+		for i := range loads {
+			loads[i] = i
+		}
+		return loads, 15 * sim.Microsecond, 40 * sim.Microsecond
+	}
+	return Spec{
+		ID: "fig16x17",
+		Units: func(q bool) []Unit {
+			loads, warm, measure := plan(q)
+			type cellID struct{ pi, li int }
+			var points []cellID
+			for pi := range fig1617Patterns {
+				for _, li := range loads {
+					points = append(points, cellID{pi, li})
+				}
+			}
+			return sweepUnits(points,
+				func(c cellID) string {
+					return fmt.Sprintf("fig16x17[%s,r=%g]", fig1617Patterns[c.pi].name, fig1617Loads[c.li])
+				},
+				func(c cellID) Part { return fig1617Point(c.pi, c.li, warm, measure) })
+		},
+		Assemble: func(_ bool, parts []Part) *Table { return fig1617Assemble(parts) },
+	}
+}

@@ -87,8 +87,8 @@ func Fig18ShuffleMeasured(outstanding []int, warm, measure sim.Time) *Table {
 			})
 		}, outstanding, warm, measure)
 		for _, p := range pts {
-			t.AddRow(cfg.name, fmt.Sprintf("%d", p.Outstanding),
-				f1(p.BandwidthMB), f1(p.LatencyNs))
+			bw, lat := loadCells(p)
+			t.AddRow(cfg.name, fmt.Sprintf("%d", p.Outstanding), bw, lat)
 		}
 	}
 	t.AddNote("paper: 1-hop shuffle gains 5-25%% vs torus; 2-hop adds another 2-5%%")

@@ -22,7 +22,7 @@ func hotSpotCurve(striped bool, outstanding []int, warm, measure sim.Time) []Loa
 			m.CPU(i).SetMLP(k)
 			ss[i] = workload.NewHotSpot(m.RegionBase(0), m.RegionBytes(), 1<<30, uint64(i*31+5))
 		}
-		interval := workload.RunTimed(m, ss, warm, measure)
+		run := workload.RunTimed(m, ss, warm, measure)
 		var ops uint64
 		var latSum sim.Time
 		for i := 1; i < m.N(); i++ {
@@ -30,12 +30,16 @@ func hotSpotCurve(striped bool, outstanding []int, warm, measure sim.Time) []Loa
 			ops += st.Ops
 			latSum += st.LatencySum
 		}
+		if run.Drained && (ops == 0 || run.Interval <= 0) {
+			pts = append(pts, LoadPoint{Outstanding: k, Drained: true})
+			continue
+		}
 		if ops == 0 {
 			continue
 		}
 		pts = append(pts, LoadPoint{
 			Outstanding: k,
-			BandwidthMB: float64(ops) * 64 / interval.Seconds() / 1e6,
+			BandwidthMB: float64(ops) * 64 / run.Interval.Seconds() / 1e6,
 			LatencyNs:   (latSum / sim.Time(ops)).Nanoseconds(),
 		})
 	}

@@ -10,6 +10,12 @@ import (
 // ready class first (the "global arbiter" of the EV7 router output port),
 // and tracks the occupancy of the per-class adaptive virtual channels so
 // the routing stage can steer around congestion.
+//
+// Queues are packet rings (see ring.go): popping reuses buffer slots
+// instead of re-slicing, so a saturated link runs in constant memory. The
+// pump hot path — pop, serialize, schedule arrival — allocates nothing:
+// the arrival callback is bound once per packet at injection (see
+// Network.Send) and rescheduled by reference on every hop.
 type link struct {
 	net  *Network
 	from topology.NodeID
@@ -17,11 +23,18 @@ type link struct {
 	wire sim.Time
 
 	freeAt sim.Time
-	queues [numClasses][]*Packet
+	queues [numClasses]pktRing
 	queued int
+	// queuedBytes tracks the serialized size of everything queued, so the
+	// congestion signal prices a queue of data packets at its real drain
+	// time rather than pretending every packet is a control flit.
+	queuedBytes int
 	// pumpAt is the time of the earliest scheduled pump event, or -1 when
 	// none is pending, so spurious wakeups are never scheduled twice.
 	pumpAt sim.Time
+	// pumpFn is pump bound once at construction; scheduling a method value
+	// per wakeup would allocate on the hot path.
+	pumpFn func()
 
 	// adaptiveOcc counts packets per class currently holding an adaptive
 	// VC credit on this link (queued or in flight to the far router).
@@ -32,17 +45,24 @@ type link struct {
 	lastReset sim.Time
 	packets   uint64
 	bytes     uint64
+	// maxQueued is the high-water mark of queued since the last stats
+	// reset — the occupancy signal saturation experiments plot.
+	maxQueued int
 }
 
 // congestion is the adaptive-routing cost signal for this link: how long a
-// packet enqueued now would wait for the wire, weighted by queue depth so
-// that ties at idle links break toward genuinely empty ones.
+// packet enqueued now would wait for the wire, plus the serialization time
+// of every byte already queued. Pricing actual bytes matters — a queue of
+// data packets (72 B) drains 3x slower than an equal-length queue of
+// control packets (24 B), and an adaptive router that prices both the same
+// systematically undercounts data-heavy congestion and steers load into
+// it.
 func (l *link) congestion() sim.Time {
 	d := l.freeAt - l.net.eng.Now()
 	if d < 0 {
 		d = 0
 	}
-	return d + sim.Time(l.queued)*l.net.serTime(CtlPacketSize)
+	return d + l.net.serTime(l.queuedBytes)
 }
 
 // adaptiveFree reports whether the class has an adaptive VC credit left.
@@ -54,8 +74,12 @@ func (l *link) adaptiveFree(c Class) bool {
 // indicates the packet holds an adaptive credit (already counted by the
 // caller).
 func (l *link) enqueue(p *Packet) {
-	l.queues[p.Class] = append(l.queues[p.Class], p)
+	l.queues[p.Class].push(p)
 	l.queued++
+	l.queuedBytes += p.Size
+	if l.queued > l.maxQueued {
+		l.maxQueued = l.queued
+	}
 	l.schedulePump(l.net.eng.Now())
 }
 
@@ -69,13 +93,23 @@ func (l *link) schedulePump(t sim.Time) {
 		return
 	}
 	l.pumpAt = t
-	l.net.eng.At(t, l.pump)
+	l.net.eng.At(t, l.pumpFn)
 }
 
 // pump transmits the best ready packet, if the wire is free.
 func (l *link) pump() {
-	l.pumpAt = -1
 	now := l.net.eng.Now()
+	if l.pumpAt != now {
+		// Stale wakeup: schedulePump armed an earlier event after this one
+		// was queued (engine events cannot be cancelled). Dropping it here
+		// is what keeps pump events O(packets): if stale wakeups fell
+		// through to the reschedule path below, every enqueue against a
+		// busy wire would leave a duplicate event re-arming itself once
+		// per serialization slot until the queue drained — an
+		// O(depth x packets) event storm on saturated links.
+		return
+	}
+	l.pumpAt = -1
 	if l.freeAt > now {
 		if l.queued > 0 {
 			l.schedulePump(l.freeAt)
@@ -92,8 +126,11 @@ func (l *link) pump() {
 	l.packets++
 	l.bytes += uint64(p.Size)
 	// Cut-through: the head reaches the far router after the wire delay;
-	// the tail still occupies this link until freeAt.
-	l.net.eng.After(l.wire, func() { l.net.arrive(p, l) })
+	// the tail still occupies this link until freeAt. The packet's
+	// pre-bound arrival callback reads p.via, so stamp the traversed link
+	// before scheduling.
+	p.via = l
+	l.net.eng.After(l.wire, p.arriveFn)
 	if l.queued > 0 {
 		l.schedulePump(l.freeAt)
 	}
@@ -104,7 +141,7 @@ func (l *link) pop() *Packet {
 	best := -1
 	bestPrio := -1
 	for c := 0; c < int(numClasses); c++ {
-		if len(l.queues[c]) == 0 {
+		if l.queues[c].len() == 0 {
 			continue
 		}
 		if prio := Class(c).priority(); prio > bestPrio {
@@ -115,9 +152,9 @@ func (l *link) pop() *Packet {
 	if best < 0 {
 		return nil
 	}
-	p := l.queues[best][0]
-	l.queues[best] = l.queues[best][1:]
+	p := l.queues[best].pop()
 	l.queued--
+	l.queuedBytes -= p.Size
 	return p
 }
 
@@ -138,5 +175,6 @@ func (l *link) resetStats() {
 	l.busy = 0
 	l.packets = 0
 	l.bytes = 0
+	l.maxQueued = l.queued
 	l.lastReset = l.net.eng.Now()
 }

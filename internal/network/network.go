@@ -56,6 +56,11 @@ type Network struct {
 	// links[n][i] drives topo.Neighbors(n)[i].
 	links [][]*link
 
+	// hopScratch is the reused next-hop buffer for route: a simulation is
+	// single-goroutine, so one scratch per network keeps the per-hop
+	// routing step allocation-free.
+	hopScratch []topology.Edge
+
 	// delivered/injected counters for sanity accounting.
 	injected, delivered uint64
 }
@@ -74,18 +79,27 @@ func New(eng *sim.Engine, topo *topology.Topology, params Params) *Network {
 		edges := topo.Neighbors(topology.NodeID(id))
 		row := make([]*link, len(edges))
 		for i, e := range edges {
-			row[i] = &link{
+			l := &link{
 				net:    n,
 				from:   topology.NodeID(id),
 				edge:   e,
 				wire:   n.wireLatency(e.Class),
 				pumpAt: -1,
 			}
+			// Bind the pump callback once; scheduling a method value
+			// (l.pump) directly would allocate a fresh closure per event.
+			l.pumpFn = l.pump
+			row[i] = l
 		}
 		n.links[id] = row
 	}
 	return n
 }
+
+// Engine reports the engine the network schedules on. Traffic generators
+// that drive the network directly (internal/traffic) use it to share the
+// simulation clock.
+func (n *Network) Engine() *sim.Engine { return n.eng }
 
 // Topology reports the graph the network is built on.
 func (n *Network) Topology() *topology.Topology { return n.topo }
@@ -111,6 +125,10 @@ func (n *Network) serTime(size int) sim.Time {
 // Send injects p at p.Src. Local-destination packets are delivered after
 // the loopback (inject+eject) delay without touching any link, matching the
 // on-chip path between the cache and the local Zboxes.
+//
+// Send binds the packet's route/arrive/deliver callbacks once; every later
+// hop reschedules those same closures (parameterized by p.cur and p.via),
+// so the steady-state pump/route/arrive cycle never allocates.
 func (n *Network) Send(p *Packet) {
 	if p.OnDeliver == nil {
 		panic("network: packet without OnDeliver")
@@ -120,28 +138,38 @@ func (n *Network) Send(p *Packet) {
 	}
 	p.injectedAt = n.eng.Now()
 	n.injected++
+	p.deliverFn = func() { n.deliver(p) }
 	if p.Src == p.Dst {
-		n.eng.After(n.params.InjectLatency+n.params.EjectLatency, func() { n.deliver(p) })
+		n.eng.After(n.params.InjectLatency+n.params.EjectLatency, p.deliverFn)
 		return
 	}
+	p.routeFn = func() { n.route(p, p.cur) }
+	p.arriveFn = func() { n.arrive(p, p.via) }
 	// The packet pays one router pipeline per link it will traverse; the
 	// source router's pipeline is charged here, intermediate ones on
 	// arrival.
-	n.eng.After(n.params.InjectLatency+n.params.RouterLatency, func() { n.route(p, p.Src) })
+	p.cur = p.Src
+	n.eng.After(n.params.InjectLatency+n.params.RouterLatency, p.routeFn)
 }
 
 // route picks the output link at node cur and enqueues the packet. It is
 // called after the router pipeline delay has elapsed.
 func (n *Network) route(p *Packet, cur topology.NodeID) {
-	hops := n.topo.NextHopsPolicy(cur, p.Dst, n.params.Policy, p.Hops)
+	n.hopScratch = n.topo.AppendNextHopsPolicy(n.hopScratch[:0], cur, p.Dst, n.params.Policy, p.Hops)
+	hops := n.hopScratch
+	if n.params.DisableAdaptive {
+		// Deterministic escape only: the dimension-ordered first hop, with
+		// no adaptive credit held (the adaptive channel is switched off,
+		// not merely bypassed).
+		p.adaptiveOn = nil
+		n.linkFor(cur, hops[0]).enqueue(p)
+		return
+	}
 	// Adaptive channel: among minimal hops with a free adaptive credit,
 	// take the least congested. The scan order is deterministic, so ties
 	// resolve identically run to run.
 	var chosen *link
 	var chosenCong sim.Time
-	if n.params.DisableAdaptive {
-		hops = hops[:1]
-	}
 	for _, e := range hops {
 		l := n.linkFor(cur, e)
 		if !l.adaptiveFree(p.Class) {
@@ -172,10 +200,11 @@ func (n *Network) arrive(p *Packet, l *link) {
 	p.Hops++
 	here := l.edge.To
 	if here == p.Dst {
-		n.eng.After(n.params.EjectLatency, func() { n.deliver(p) })
+		n.eng.After(n.params.EjectLatency, p.deliverFn)
 		return
 	}
-	n.eng.After(n.params.RouterLatency, func() { n.route(p, here) })
+	p.cur = here
+	n.eng.After(n.params.RouterLatency, p.routeFn)
 }
 
 func (n *Network) deliver(p *Packet) {
@@ -201,7 +230,7 @@ func (n *Network) Delivered() uint64 { return n.delivered }
 // InFlight reports packets injected but not yet delivered.
 func (n *Network) InFlight() uint64 { return n.injected - n.delivered }
 
-// LinkStat is a utilization snapshot of one directed link.
+// LinkStat is a utilization and occupancy snapshot of one directed link.
 type LinkStat struct {
 	From, To    topology.NodeID
 	Dir         topology.Dir
@@ -209,6 +238,11 @@ type LinkStat struct {
 	Utilization float64
 	Packets     uint64
 	Bytes       uint64
+	// Queued/QueuedBytes are the output-port queue depth at snapshot time;
+	// MaxQueued is the depth high-water mark since the last stats reset.
+	Queued      int
+	QueuedBytes int
+	MaxQueued   int
 }
 
 // LinkStats reports a snapshot for every directed link, in deterministic
@@ -225,10 +259,56 @@ func (n *Network) LinkStats() []LinkStat {
 				Utilization: l.utilization(),
 				Packets:     l.packets,
 				Bytes:       l.bytes,
+				Queued:      l.queued,
+				QueuedBytes: l.queuedBytes,
+				MaxQueued:   l.maxQueued,
 			})
 		}
 	}
 	return out
+}
+
+// QueuedAt reports the packets queued across node id's output ports — the
+// backpressure signal an injector consults to throttle an overloaded
+// source.
+func (n *Network) QueuedAt(id topology.NodeID) int {
+	total := 0
+	for _, l := range n.links[id] {
+		total += l.queued
+	}
+	return total
+}
+
+// PeakQueued reports the deepest any single output-port queue has been
+// since the last stats reset. Saturation experiments use it to verify that
+// backpressure keeps steady-state occupancy — and therefore memory —
+// bounded.
+func (n *Network) PeakQueued() int {
+	peak := 0
+	for id := range n.links {
+		for _, l := range n.links[id] {
+			if l.maxQueued > peak {
+				peak = l.maxQueued
+			}
+		}
+	}
+	return peak
+}
+
+// AdaptiveOccupancy sums the adaptive-VC credits currently held across all
+// links and classes. Every acquired credit is released when its packet
+// reaches the far router, so the sum must return to zero once traffic
+// drains; TestAdaptiveCreditBalance pins that invariant.
+func (n *Network) AdaptiveOccupancy() int {
+	total := 0
+	for id := range n.links {
+		for _, l := range n.links[id] {
+			for c := 0; c < int(numClasses); c++ {
+				total += l.adaptiveOcc[c]
+			}
+		}
+	}
+	return total
 }
 
 // NodeLinkUtilization reports the mean utilization of the outgoing links of

@@ -88,6 +88,16 @@ type Packet struct {
 	// adaptiveOn remembers the link whose adaptive-channel credit this
 	// packet holds, so arrival can release it.
 	adaptiveOn *link
+
+	// cur is the node whose router routes the packet next; via is the link
+	// the packet is currently traversing. Both are parameters of the
+	// routeFn/arriveFn callbacks below, carried on the packet so the
+	// closures can be bound once at injection (Network.Send) and then
+	// rescheduled by reference — the per-hop pump/route/arrive cycle
+	// allocates nothing (see BenchmarkLinkPump).
+	cur                          topology.NodeID
+	via                          *link
+	routeFn, arriveFn, deliverFn func()
 }
 
 // Common packet sizes in bytes. The EV7 moves 64-byte cache blocks; control

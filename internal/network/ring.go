@@ -1,0 +1,59 @@
+package network
+
+// pktRing is a FIFO of packets over a power-of-two circular buffer.
+//
+// It exists because the obvious alternative — a plain slice popped with
+// `q = q[1:]` — leaks: re-slicing advances the slice header but keeps the
+// backing array's head element reachable, so a link that stays busy for a
+// long run retains every packet it ever forwarded and memory grows without
+// bound. The ring reuses slots, nils out popped entries so delivered
+// packets can be collected, and allocates only when the queue outgrows its
+// current capacity, so steady-state traffic — however long it runs — works
+// in a fixed footprint (TestLinkQueueMemoryBounded pins this).
+type pktRing struct {
+	buf  []*Packet
+	head int
+	n    int
+}
+
+// len reports the number of queued packets.
+func (r *pktRing) len() int { return r.n }
+
+// cap reports the current slot capacity (for memory-bound assertions).
+func (r *pktRing) cap() int { return len(r.buf) }
+
+// push appends p at the tail.
+func (r *pktRing) push(p *Packet) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = p
+	r.n++
+}
+
+// pop removes and returns the head packet. It panics on an empty ring —
+// callers gate on len.
+func (r *pktRing) pop() *Packet {
+	if r.n == 0 {
+		panic("network: pop from empty packet ring")
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = nil // drop the reference so the packet can be collected
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return p
+}
+
+// grow doubles the buffer (minimum 8 slots), compacting the live window to
+// the front so the power-of-two index mask stays valid.
+func (r *pktRing) grow() {
+	newCap := 2 * len(r.buf)
+	if newCap == 0 {
+		newCap = 8
+	}
+	buf := make([]*Packet, newCap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = buf, 0
+}

@@ -26,7 +26,7 @@ func render(t *testing.T, results []Result) string {
 // experiments decomposed into per-point units must render byte-identically
 // for -j 1 and -j 8.
 func TestDeterminismAcrossWorkerCounts(t *testing.T) {
-	ids := []string{"fig4", "fig14", "fig15", "fig23"}
+	ids := []string{"fig4", "fig14", "fig15", "fig23", "fig16x17", "satur-transpose", "satur-hotspot"}
 	serial, err := Run(context.Background(), ids, Options{Workers: 1, Quick: true})
 	if err != nil {
 		t.Fatal(err)

@@ -172,9 +172,16 @@ func (t *Topology) DistPolicy(a, b NodeID, policy RoutePolicy, hopsTaken int) in
 // a packet that has taken hopsTaken hops under policy. Like NextHops, the
 // result order is deterministic and the call panics when cur == dst.
 func (t *Topology) NextHopsPolicy(cur, dst NodeID, policy RoutePolicy, hopsTaken int) []Edge {
+	return t.AppendNextHopsPolicy(nil, cur, dst, policy, hopsTaken)
+}
+
+// AppendNextHopsPolicy appends the policy-restricted minimal next hops
+// onto hops and returns the extended slice — the scratch-reuse variant of
+// NextHopsPolicy (see AppendNextHops).
+func (t *Topology) AppendNextHopsPolicy(hops []Edge, cur, dst NodeID, policy RoutePolicy, hopsTaken int) []Edge {
 	budget := policy.budget(hopsTaken)
 	if budget < 0 || !t.hasShuffle() {
-		return t.NextHops(cur, dst)
+		return t.AppendNextHops(hops, cur, dst)
 	}
 	if cur == dst {
 		panic("topology: NextHopsPolicy with cur == dst")
@@ -187,8 +194,8 @@ func (t *Topology) NextHopsPolicy(cur, dst NodeID, policy RoutePolicy, hopsTaken
 	if cb < 0 {
 		cb = 0
 	}
+	base := len(hops)
 	want := t.distBudget[budget][cur][dst] - 1
-	var hops []Edge
 	for _, e := range t.adj[cur] {
 		if e.Dir == Shuffle && budget == 0 {
 			continue
@@ -197,7 +204,7 @@ func (t *Topology) NextHopsPolicy(cur, dst NodeID, policy RoutePolicy, hopsTaken
 			hops = append(hops, e)
 		}
 	}
-	if len(hops) == 0 {
+	if len(hops) == base {
 		panic("topology: no minimal policy hop in " + t.Name)
 	}
 	return hops

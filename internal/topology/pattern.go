@@ -1,0 +1,35 @@
+package topology
+
+// Synthetic-traffic destination mappings. These are the classic
+// permutations of the interconnection-network literature; internal/traffic
+// wraps them into injectable patterns, and they live here because they are
+// pure grid geometry — one source of truth beside distances and next-hop
+// sets.
+
+// Transpose maps (x, y) to (y, x): the canonical adversarial permutation
+// for dimension-ordered routing, which folds the whole matrix onto the
+// diagonal and rewards adaptive path diversity. It panics unless the grid
+// is square; nodes on the diagonal map to themselves (callers treat them
+// as non-injecting).
+func (t *Topology) Transpose(n NodeID) NodeID {
+	if t.W != t.H {
+		panic("topology: transpose pattern requires a square grid")
+	}
+	c := t.Coord(n)
+	return t.Node(Coord{X: c.Y, Y: c.X})
+}
+
+// BitComplement maps node i to N-1-i, pairing each node with its
+// point-reflection through the grid center — every packet crosses the
+// bisection, making this the bisection-bandwidth stress pattern.
+func (t *Topology) BitComplement(n NodeID) NodeID {
+	return NodeID(t.N() - 1 - int(n))
+}
+
+// NearestNeighbor maps each node to its east neighbor (wrapping), the
+// best-case pattern: one hop per packet and perfectly balanced links. A
+// 1-wide grid maps a node to itself (callers treat it as non-injecting).
+func (t *Topology) NearestNeighbor(n NodeID) NodeID {
+	c := t.Coord(n)
+	return t.Node(Coord{X: c.X + 1, Y: c.Y})
+}

@@ -114,17 +114,24 @@ func (t *Topology) Dist(a, b NodeID) int { return int(t.dist[a][b]) }
 // choice used by deadlock-free virtual channels, the full set is what the
 // adaptive channel may choose between. NextHops panics if cur == dst.
 func (t *Topology) NextHops(cur, dst NodeID) []Edge {
+	return t.AppendNextHops(nil, cur, dst)
+}
+
+// AppendNextHops appends cur's minimal next hops toward dst onto hops and
+// returns the extended slice. Router hot paths pass a reused scratch
+// slice (hops[:0]) so per-hop routing does not allocate.
+func (t *Topology) AppendNextHops(hops []Edge, cur, dst NodeID) []Edge {
 	if cur == dst {
 		panic("topology: NextHops with cur == dst")
 	}
-	var hops []Edge
+	base := len(hops)
 	want := t.dist[cur][dst] - 1
 	for _, e := range t.adj[cur] {
 		if t.dist[e.To][dst] == want {
 			hops = append(hops, e)
 		}
 	}
-	if len(hops) == 0 {
+	if len(hops) == base {
 		panic(fmt.Sprintf("topology: no minimal hop from %d to %d", cur, dst))
 	}
 	return hops

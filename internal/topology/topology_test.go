@@ -411,3 +411,39 @@ func TestMeshDegrees(t *testing.T) {
 		t.Fatalf("center degree = %d", d)
 	}
 }
+
+// TestPatternMappings pins the synthetic-traffic destination mappings.
+func TestPatternMappings(t *testing.T) {
+	sq := NewTorus(4, 4)
+	for n := 0; n < sq.N(); n++ {
+		id := NodeID(n)
+		// Transpose is an involution fixing the diagonal.
+		if got := sq.Transpose(sq.Transpose(id)); got != id {
+			t.Fatalf("transpose not involutive at %d: %d", id, got)
+		}
+		c := sq.Coord(id)
+		if want := sq.Node(Coord{X: c.Y, Y: c.X}); sq.Transpose(id) != want {
+			t.Fatalf("transpose(%d) = %d, want %d", id, sq.Transpose(id), want)
+		}
+		// Bit-complement pairs i with N-1-i.
+		if got := sq.BitComplement(id); got != NodeID(sq.N()-1-n) {
+			t.Fatalf("bitcomplement(%d) = %d", id, got)
+		}
+		if got := sq.BitComplement(sq.BitComplement(id)); got != id {
+			t.Fatalf("bitcomplement not involutive at %d", id)
+		}
+		// Nearest neighbor moves one column east, wrapping.
+		nb := sq.Coord(sq.NearestNeighbor(id))
+		if nb.X != (c.X+1)%sq.W || nb.Y != c.Y {
+			t.Fatalf("neighbor(%d) = %+v", id, nb)
+		}
+	}
+	// Transpose demands a square grid.
+	rect := NewTorus(8, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("transpose on a rectangle did not panic")
+		}
+	}()
+	rect.Transpose(0)
+}

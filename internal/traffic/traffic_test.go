@@ -1,0 +1,211 @@
+package traffic
+
+import (
+	"testing"
+
+	"gs1280/internal/network"
+	"gs1280/internal/sim"
+	"gs1280/internal/topology"
+)
+
+func newNet(w, h int, mutate func(*network.Params)) *network.Network {
+	eng := sim.NewEngine()
+	topo := topology.NewTorus(w, h)
+	params := network.DefaultParams()
+	if mutate != nil {
+		mutate(&params)
+	}
+	return network.New(eng, topo, params)
+}
+
+func runUniform(rate float64, mutate func(*network.Params)) Result {
+	return Run(newNet(4, 4, mutate), Config{
+		Pattern: Uniform(),
+		Rate:    rate,
+		Class:   network.Request,
+		Seed:    42,
+		Warmup:  2 * sim.Microsecond,
+		Measure: 10 * sim.Microsecond,
+	})
+}
+
+// TestDeterministicReplay pins the property the parallel runner depends
+// on: the same config produces bit-identical results run to run.
+func TestDeterministicReplay(t *testing.T) {
+	a := runUniform(0.02, nil)
+	b := runUniform(0.02, nil)
+	if a != b {
+		t.Fatalf("replay diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestAccountingConservation checks the offered/stalled/injected/delivered
+// ledger at a mid load and deep into saturation.
+func TestAccountingConservation(t *testing.T) {
+	for _, rate := range []float64{0.01, 0.2} {
+		r := runUniform(rate, nil)
+		if r.Offered == 0 {
+			t.Fatalf("rate %v: nothing offered", rate)
+		}
+		if r.Offered != r.Injected+r.Stalled {
+			t.Errorf("rate %v: offered %d != injected %d + stalled %d",
+				rate, r.Offered, r.Injected, r.Stalled)
+		}
+		if r.Delivered > r.Injected {
+			t.Errorf("rate %v: delivered %d > injected %d", rate, r.Delivered, r.Injected)
+		}
+		if r.Delivered == 0 {
+			t.Errorf("rate %v: nothing delivered", rate)
+		}
+	}
+}
+
+// TestLatencyMonotoneAndSaturates sweeps offered load and checks the
+// defining shape of the curve: latency never meaningfully decreases with
+// load, and past the knee the source queues reject offered packets while
+// delivered throughput stops tracking offered throughput.
+func TestLatencyMonotoneAndSaturates(t *testing.T) {
+	rates := []float64{0.002, 0.005, 0.01, 0.02, 0.04, 0.08, 0.16}
+	var lats, accepted []float64
+	var delivered []float64
+	for _, rate := range rates {
+		r := runUniform(rate, nil)
+		lats = append(lats, r.AvgLatencyNs())
+		accepted = append(accepted, r.AcceptedFrac())
+		delivered = append(delivered, r.DeliveredRate())
+	}
+	for i := 1; i < len(lats); i++ {
+		if lats[i] < lats[i-1]*0.97 {
+			t.Errorf("latency not monotone: %.1f ns at rate %v after %.1f ns at %v",
+				lats[i], rates[i], lats[i-1], rates[i-1])
+		}
+	}
+	if lats[len(lats)-1] < 3*lats[0] {
+		t.Errorf("top-load latency %.1f ns did not clearly exceed zero-load %.1f ns",
+			lats[len(lats)-1], lats[0])
+	}
+	if accepted[0] < 0.999 {
+		t.Errorf("low load rejected packets: accepted %.3f", accepted[0])
+	}
+	last := len(rates) - 1
+	if accepted[last] > 0.9 {
+		t.Errorf("top load accepted %.3f of offered; expected saturation", accepted[last])
+	}
+	if delivered[last] > 0.9*rates[last] {
+		t.Errorf("delivered %.4f at offered %.4f; expected a throughput ceiling",
+			delivered[last], rates[last])
+	}
+}
+
+// TestSaturatedStateBounded drives the network far past saturation and
+// checks that the in-flight cap keeps steady-state occupancy bounded: a
+// longer run must not hold more packets or deeper queues than a shorter
+// one, which is the memory-boundedness the ring-queue fix guarantees.
+func TestSaturatedStateBounded(t *testing.T) {
+	occupancy := func(measure sim.Time) (inFlight uint64, peak int) {
+		net := newNet(4, 4, nil)
+		Run(net, Config{
+			Pattern: Uniform(),
+			Rate:    0.5, // ~10x saturation
+			Seed:    7,
+			Warmup:  2 * sim.Microsecond,
+			Measure: measure,
+		})
+		return net.InFlight(), net.PeakQueued()
+	}
+	shortIn, shortPeak := occupancy(5 * sim.Microsecond)
+	longIn, longPeak := occupancy(40 * sim.Microsecond)
+	capTotal := uint64(16 * DefaultMaxInFlight)
+	if shortIn > capTotal || longIn > capTotal {
+		t.Fatalf("in-flight exceeded source caps: short %d long %d cap %d",
+			shortIn, longIn, capTotal)
+	}
+	if longPeak > 2*shortPeak+16 {
+		t.Errorf("peak queue grew with run length (%d -> %d); state not bounded",
+			shortPeak, longPeak)
+	}
+}
+
+// TestAdaptiveBeatsDeterministicOnTranspose pins the routing story the
+// saturation experiments plot: under the transpose permutation near
+// saturation, adaptive routing's path diversity must deliver lower
+// latency than the dimension-ordered escape path alone.
+func TestAdaptiveBeatsDeterministicOnTranspose(t *testing.T) {
+	measure := func(disable bool) Result {
+		return Run(newNet(4, 4, func(p *network.Params) { p.DisableAdaptive = disable }), Config{
+			Pattern: Transpose(),
+			Rate:    0.03,
+			Seed:    9,
+			Warmup:  2 * sim.Microsecond,
+			Measure: 12 * sim.Microsecond,
+		})
+	}
+	adaptive, det := measure(false), measure(true)
+	if adaptive.AvgLatencyNs() >= det.AvgLatencyNs() {
+		t.Errorf("adaptive latency %.1f ns not below deterministic %.1f ns on transpose",
+			adaptive.AvgLatencyNs(), det.AvgLatencyNs())
+	}
+	if adaptive.DeliveredRate() < det.DeliveredRate() {
+		t.Errorf("adaptive delivered %.4f below deterministic %.4f on transpose",
+			adaptive.DeliveredRate(), det.DeliveredRate())
+	}
+}
+
+// TestPeriodicProcessOffersConfiguredRate checks the periodic process
+// against its nominal rate and its end-to-end delivery at low load.
+func TestPeriodicProcessOffersConfiguredRate(t *testing.T) {
+	r := Run(newNet(4, 4, nil), Config{
+		Pattern: NearestNeighbor(),
+		Rate:    0.01,
+		Process: Periodic,
+		Seed:    3,
+		Warmup:  2 * sim.Microsecond,
+		Measure: 20 * sim.Microsecond,
+	})
+	want := 0.01 * 20000 * 16 // rate x window(ns) x nodes
+	if got := float64(r.Offered); got < 0.95*want || got > 1.05*want {
+		t.Errorf("periodic offered %v packets, want ~%v", got, want)
+	}
+	if r.AcceptedFrac() < 0.999 || r.Delivered == 0 {
+		t.Errorf("nearest-neighbor at low load should not saturate: %+v", r)
+	}
+}
+
+// TestHotspotConcentratesOnTarget checks that the hotspot pattern's
+// destination distribution honors its fraction.
+func TestHotspotConcentratesOnTarget(t *testing.T) {
+	topo := topology.NewTorus(4, 4)
+	rng := sim.NewRNG(1)
+	pat := Hotspot(5, 0.3)
+	hits, total := 0, 4000
+	for i := 0; i < total; i++ {
+		dst, ok := pat.Dest(topo, 9, rng)
+		if !ok {
+			t.Fatal("hotspot source refused to inject")
+		}
+		if dst == 5 {
+			hits++
+		}
+	}
+	// 0.3 direct plus 1/15 of the uniform remainder ≈ 0.347.
+	frac := float64(hits) / float64(total)
+	if frac < 0.30 || frac > 0.40 {
+		t.Errorf("hotspot fraction = %.3f, want ~0.35", frac)
+	}
+}
+
+// TestNonParticipants checks that pattern sources that map to themselves
+// sit out instead of injecting self-traffic.
+func TestNonParticipants(t *testing.T) {
+	topo := topology.NewTorus(4, 4)
+	if _, ok := Transpose().Dest(topo, 5, nil); ok { // (1,1): diagonal
+		t.Error("diagonal transpose source should not inject")
+	}
+	if dst, ok := Transpose().Dest(topo, 1, nil); !ok || dst != 4 {
+		t.Errorf("transpose(0,1) = %v,%v, want node 4", dst, ok)
+	}
+	one := topology.NewTorus(1, 1)
+	if _, ok := Uniform().Dest(one, 0, sim.NewRNG(1)); ok {
+		t.Error("single-node uniform source should not inject")
+	}
+}

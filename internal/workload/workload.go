@@ -292,11 +292,29 @@ func Run(m machine.Machine, streams []cpu.Stream) {
 	m.Engine().Run()
 }
 
+// TimedRun is the outcome of a RunTimed measurement window.
+type TimedRun struct {
+	// Interval is the active measured time: the full measure window, or —
+	// when the streams drained early — the span from the window opening to
+	// the last completed operation. It is zero when every stream finished
+	// during warmup; callers must not divide by it blindly.
+	Interval sim.Time
+	// Drained reports that every stream ran out of operations before the
+	// measure window closed. Rates computed over Interval are still
+	// honest (it is the span the counted operations actually took), but a
+	// drained run did not sustain the load for the whole window — tables
+	// should surface it rather than print a rate as if it had.
+	Drained bool
+}
+
 // RunTimed starts the streams, runs for warmup, resets statistics, then
-// runs for measure longer (or until the streams drain) and returns the
-// measured interval length. Streams should carry enough operations to
-// outlast warmup+measure.
-func RunTimed(m machine.Machine, streams []cpu.Stream, warmup, measure sim.Time) sim.Time {
+// runs for measure longer and reports the measured interval. Streams
+// should carry enough operations to outlast warmup+measure; when they do
+// not, the result's Drained flag is set and Interval shrinks to the span
+// that actually saw activity (previously the full window was reported
+// regardless, so a drained run produced silently wrong — or, when
+// everything finished inside warmup, Inf/NaN — rates downstream).
+func RunTimed(m machine.Machine, streams []cpu.Stream, warmup, measure sim.Time) TimedRun {
 	for i, s := range streams {
 		if s != nil {
 			m.CPU(i).Run(s, nil)
@@ -308,7 +326,32 @@ func RunTimed(m machine.Machine, streams []cpu.Stream, warmup, measure sim.Time)
 	m.ResetStats()
 	t0 := eng.Now()
 	eng.RunUntil(begin + warmup + measure)
-	return eng.Now() - t0
+	run := TimedRun{Interval: eng.Now() - t0}
+	var last sim.Time
+	active := false
+	drained := true
+	for i, s := range streams {
+		if s == nil {
+			continue
+		}
+		active = true
+		c := m.CPU(i)
+		if c.Running() {
+			drained = false
+			break
+		}
+		if f := c.Stats().FinishedAt; f > last {
+			last = f
+		}
+	}
+	if active && drained {
+		run.Drained = true
+		run.Interval = last - t0
+		if run.Interval < 0 {
+			run.Interval = 0
+		}
+	}
+	return run
 }
 
 // NewLoadTest is the §4 load test under its paper name: an alias for

@@ -205,14 +205,60 @@ func TestRunTimedMeasuresInterval(t *testing.T) {
 	for i := range streams {
 		streams[i] = NewGUPS(0, m.TotalMemory(), 1_000_000, uint64(i+1))
 	}
-	interval := RunTimed(m, streams, 10*sim.Microsecond, 50*sim.Microsecond)
-	if interval != 50*sim.Microsecond {
-		t.Fatalf("measured interval = %v, want 50us", interval)
+	run := RunTimed(m, streams, 10*sim.Microsecond, 50*sim.Microsecond)
+	if run.Interval != 50*sim.Microsecond {
+		t.Fatalf("measured interval = %v, want 50us", run.Interval)
+	}
+	if run.Drained {
+		t.Fatal("1M-op streams reported drained in a 60us window")
 	}
 	for i := 0; i < m.N(); i++ {
 		if m.CPU(i).Stats().Ops == 0 {
 			t.Fatalf("CPU %d made no progress in measurement window", i)
 		}
+	}
+}
+
+// TestRunTimedDetectsDrain pins the drained-run contract: streams that
+// finish inside warmup yield Interval 0 (previously the full window was
+// reported, and callers dividing ops by it emitted Inf/NaN rates), and
+// streams that finish mid-window yield the genuinely active span.
+func TestRunTimedDetectsDrain(t *testing.T) {
+	mk := func() machine.Machine { return machine.NewGS1280(machine.GS1280Config{W: 2, H: 2}) }
+	streams := func(m machine.Machine, count int) []cpu.Stream {
+		ss := make([]cpu.Stream, m.N())
+		for i := range ss {
+			ss[i] = NewGUPS(0, m.TotalMemory(), count, uint64(i+1))
+		}
+		return ss
+	}
+
+	// A handful of ops drains long before the 10us warmup ends.
+	m := mk()
+	run := RunTimed(m, streams(m, 20), 10*sim.Microsecond, 50*sim.Microsecond)
+	if !run.Drained {
+		t.Fatal("20-op streams not reported drained")
+	}
+	if run.Interval != 0 {
+		t.Fatalf("drained-in-warmup interval = %v, want 0", run.Interval)
+	}
+
+	// A mid-sized run drains inside the measure window: Drained with a
+	// positive interval shorter than the window.
+	m = mk()
+	run = RunTimed(m, streams(m, 5000), 1*sim.Microsecond, 500*sim.Microsecond)
+	if !run.Drained {
+		t.Fatal("mid-window drain not reported")
+	}
+	if run.Interval <= 0 || run.Interval >= 500*sim.Microsecond {
+		t.Fatalf("mid-window drain interval = %v, want in (0, 500us)", run.Interval)
+	}
+	var ops uint64
+	for i := 0; i < m.N(); i++ {
+		ops += m.CPU(i).Stats().Ops
+	}
+	if ops == 0 {
+		t.Fatal("mid-window drain completed no measured ops")
 	}
 }
 
