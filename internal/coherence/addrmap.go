@@ -70,25 +70,60 @@ func (m AddressMap) RegionBase(n topology.NodeID) int64 { return int64(n) * m.Re
 
 // Home reports the home node and controller index (0 or 1) of addr.
 func (m AddressMap) Home(addr int64) (topology.NodeID, int) {
+	home, ctl, _ := m.HomeSlot(addr)
+	return home, ctl
+}
+
+// Align reports the line-aligned address containing addr.
+func (m AddressMap) Align(addr int64) int64 { return addr - addr%m.LineBytes }
+
+// LinesPerRegion reports how many cache lines one node's region holds.
+func (m AddressMap) LinesPerRegion() int64 { return m.RegionBytes / m.LineBytes }
+
+// SlotCount reports the size of the per-home directory slot space (see
+// HomeSlot). Without striping a home only ever serves lines of its own
+// region; with striping it also serves its partner's, doubling the space.
+func (m AddressMap) SlotCount() int64 {
+	if m.Striped {
+		return 2 * m.LinesPerRegion()
+	}
+	return m.LinesPerRegion()
+}
+
+// HomeSlot reports the home node, controller index, and the home-relative
+// directory slot of the line containing addr. Slots are dense per home:
+// lines of the home's own region map to [0, LinesPerRegion) by line index,
+// and (striped only) lines of the partner's region map to
+// [LinesPerRegion, 2*LinesPerRegion). The slot is what lets the directory
+// keep its state in index-addressed tables instead of hash maps.
+func (m AddressMap) HomeSlot(addr int64) (topology.NodeID, int, int64) {
 	if addr < 0 || addr >= m.TotalBytes() {
 		panic(fmt.Sprintf("coherence: address %#x outside physical memory", addr))
 	}
 	region := topology.NodeID(addr / m.RegionBytes)
 	line := (addr % m.RegionBytes) / m.LineBytes
 	if !m.Striped {
-		return region, int(line % 2)
+		return region, int(line % 2), line
 	}
 	switch line % 4 {
 	case 0:
-		return region, 0
+		return region, 0, line
 	case 1:
-		return region, 1
+		return region, 1, line
 	case 2:
-		return m.Partner[region], 0
+		return m.Partner[region], 0, line + m.LinesPerRegion()
 	default:
-		return m.Partner[region], 1
+		return m.Partner[region], 1, line + m.LinesPerRegion()
 	}
 }
 
-// Align reports the line-aligned address containing addr.
-func (m AddressMap) Align(addr int64) int64 { return addr - addr%m.LineBytes }
+// SlotLine is the inverse of HomeSlot: the line-aligned address whose
+// directory state lives at (home, slot).
+func (m AddressMap) SlotLine(home topology.NodeID, slot int64) int64 {
+	region := home
+	if slot >= m.LinesPerRegion() {
+		slot -= m.LinesPerRegion()
+		region = m.Partner[home]
+	}
+	return m.RegionBase(region) + slot*m.LineBytes
+}

@@ -10,13 +10,241 @@ import (
 	"gs1280/internal/trace"
 )
 
-// send delivers fn at dst, over the network unless src == dst.
-func (s *System) send(src, dst topology.NodeID, class network.Class, size int, fn func()) {
+// msgKind selects the action a pooled msg performs when it is delivered —
+// over the network, from the event queue, or from a Zbox completion.
+type msgKind uint8
+
+const (
+	// mkComplete reports a cache-hit (or locally computed) latency to an
+	// access's done callback.
+	mkComplete msgKind = iota
+	// mkSendReq issues a MAF entry's Read/ReadMod after CoreOverhead.
+	mkSendReq
+	// mkHomeMsg delivers a request or victim at its home (homeReceive).
+	mkHomeMsg
+	// mkZboxRead resumes a home transaction after its directory read.
+	mkZboxRead
+	// mkZboxVictim commits a victim writeback after its memory write.
+	mkZboxVictim
+	// mkShareWB delivers a read-forward's writeback at the home.
+	mkShareWB
+	// mkZboxShareWB commits that writeback after its memory write.
+	mkZboxShareWB
+	// mkFwd delivers a Forward at the owning node.
+	mkFwd
+	// mkServeFwd runs the owner's cache lookup after OwnerLatency.
+	mkServeFwd
+	// mkFill delivers a data response at the requester.
+	mkFill
+	// mkTransfer commits a mod-forward ownership change at the home.
+	mkTransfer
+	// mkInval delivers an invalidate at a sharer.
+	mkInval
+	// mkInvAck delivers an invalidation ack at the writing requester.
+	mkInvAck
+	// mkVictimAck delivers a victim acknowledgement at the evicting node.
+	mkVictimAck
+	// mkRetry delivers a NAK at the requester, which backs off.
+	mkRetry
+	// mkRetrySend re-issues the NAKed request after RetryBackoff.
+	mkRetrySend
+	// mkDeferredFwd replays a Forward that waited out the owner's own fill.
+	mkDeferredFwd
+	// mkRetryAccess re-enters an access parked on a victim writeback.
+	mkRetryAccess
+)
+
+// msg is the protocol's pooled message/transaction record — the "small
+// arg struct" end of the zero-alloc callback convention shared with
+// internal/network and internal/memctrl. One flat struct serves every
+// message class (the union of their fields is small), so a single
+// free list recycles them all; its embedded network.Packet carries the
+// once-bound OnDeliver, and network.Send rebinds nothing on reuse. The
+// steady-state miss path therefore allocates no closures and no packets.
+type msg struct {
+	s        *System
+	kind     msgKind
+	hkind    homeMsgKind
+	mod      bool
+	retained bool
+	granted  cache.LineState
+	from     topology.NodeID
+	to       topology.NodeID
+	acks     int
+	ctl      int
+	line     int64
+	value    uint64
+	lat      sim.Time
+	start    sim.Time
+	nd       *node
+	e        *dirEntry
+	done     func(sim.Time)
+	pkt      network.Packet
+}
+
+// getMsg borrows a record from the system pool.
+func (s *System) getMsg() *msg {
+	if n := len(s.freeMsgs); n > 0 {
+		m := s.freeMsgs[n-1]
+		s.freeMsgs = s.freeMsgs[:n-1]
+		return m
+	}
+	m := &msg{s: s}
+	m.pkt.OnDeliver = func() { s.deliverMsg(m) }
+	return m
+}
+
+// putMsg returns a record, dropping reference fields so a parked pool
+// cannot pin nodes, directory entries or caller callbacks.
+func (s *System) putMsg(m *msg) {
+	m.nd = nil
+	m.e = nil
+	m.done = nil
+	s.freeMsgs = append(s.freeMsgs, m)
+}
+
+// deliverLocal adapts the pool to sim.Engine.AtArg and
+// memctrl.Controller.AccessArg: both dispatch pre-bound func(any)
+// callbacks, and this is the only one the protocol needs.
+func deliverLocal(a any) { a.(*msg).s.deliverMsg(a.(*msg)) }
+
+// post sends m from src to dst, over the network unless src == dst.
+func (s *System) post(src, dst topology.NodeID, class network.Class, size int, m *msg) {
 	if src == dst {
-		s.eng.After(0, fn)
+		s.eng.AfterArg(0, deliverLocal, m)
 		return
 	}
-	s.net.Send(&network.Packet{Src: src, Dst: dst, Class: class, Size: size, OnDeliver: fn})
+	p := &m.pkt
+	p.Src, p.Dst, p.Class, p.Size = src, dst, class, size
+	s.net.Send(p)
+}
+
+// deliverMsg dispatches one record. Handlers copy what they need to
+// locals and release the record before acting, because the action usually
+// borrows fresh records; the two kinds that re-arm themselves with a
+// delay (mkFwd, mkRetry) keep theirs.
+func (s *System) deliverMsg(m *msg) {
+	switch m.kind {
+	case mkComplete:
+		done, lat := m.done, m.lat
+		s.putMsg(m)
+		done(lat)
+
+	case mkSendReq:
+		nd, line, write := m.nd, m.line, m.mod
+		s.putMsg(m)
+		s.sendRequest(nd, line, write)
+
+	case mkHomeMsg:
+		home, line := m.nd, m.line
+		hm := homeMsg{kind: m.hkind, from: m.from, value: m.value}
+		s.putMsg(m)
+		s.homeReceive(home, line, hm)
+
+	case mkZboxRead:
+		home, line, ctl, e, from, kind := m.nd, m.line, m.ctl, m.e, m.from, m.hkind
+		s.putMsg(m)
+		s.processRequest(home, line, ctl, e, from, kind)
+
+	case mkZboxVictim:
+		home, line, ctl, e, from, value := m.nd, m.line, m.ctl, m.e, m.from, m.value
+		s.putMsg(m)
+		e.value = value
+		e.state = dirIdle
+		e.sharers = 0
+		s.sendVictimAck(home, line, from)
+		s.finish(home, line, ctl, e)
+
+	case mkShareWB:
+		// The home commits the writeback to memory before updating the
+		// directory; reuse this record as the Zbox completion.
+		home, line := m.nd, m.line
+		_, ctl, slot := s.amap.HomeSlot(line)
+		e := home.dir.find(slot)
+		if e == nil {
+			panic(fmt.Sprintf("coherence: share-writeback for untracked line %#x", line))
+		}
+		m.kind = mkZboxShareWB
+		m.ctl = ctl
+		m.e = e
+		home.z[ctl].AccessArg(line, true, deliverLocal, m)
+
+	case mkZboxShareWB:
+		home, line, ctl, e := m.nd, m.line, m.ctl, m.e
+		value, owner, requester, retained := m.value, m.from, m.to, m.retained
+		s.putMsg(m)
+		e.value = value
+		e.state = dirShared
+		e.sharers = 1 << uint(requester)
+		if retained {
+			e.sharers |= 1 << uint(owner)
+		}
+		s.finish(home, line, ctl, e)
+
+	case mkFwd:
+		// If the owner's own fill for the line is still in flight, the
+		// forward waits for it (see completeFill).
+		if entry := m.nd.mafFind(m.line); entry != nil {
+			entry.deferredFwd = append(entry.deferredFwd, fwdReq{requester: m.to, mod: m.mod})
+			s.putMsg(m)
+			return
+		}
+		m.kind = mkServeFwd
+		s.eng.AfterArg(s.params.OwnerLatency, deliverLocal, m)
+
+	case mkServeFwd:
+		o, line, requester, mod := m.nd, m.line, m.to, m.mod
+		s.putMsg(m)
+		s.serveForward(o, line, requester, mod)
+
+	case mkFill:
+		nd, line, value, granted, acks := m.nd, m.line, m.value, m.granted, m.acks
+		s.putMsg(m)
+		s.fillArrived(nd, line, value, granted, acks)
+
+	case mkTransfer:
+		home, line, newOwner := m.nd, m.line, m.to
+		s.putMsg(m)
+		s.transferArrived(home, line, newOwner)
+
+	case mkInval:
+		sh, line, requester := m.nd, m.line, m.to
+		s.putMsg(m)
+		s.invalArrived(sh, line, requester)
+
+	case mkInvAck:
+		nd, line := m.nd, m.line
+		s.putMsg(m)
+		s.invAckArrived(nd, line)
+
+	case mkVictimAck:
+		nd, line := m.nd, m.line
+		s.putMsg(m)
+		s.victimAckArrived(nd, line)
+
+	case mkRetry:
+		m.nd.stats.Retries++
+		m.kind = mkRetrySend
+		s.eng.AfterArg(s.params.RetryBackoff, deliverLocal, m)
+
+	case mkRetrySend:
+		nd, line, write := m.nd, m.line, m.mod
+		s.putMsg(m)
+		s.sendRequest(nd, line, write)
+
+	case mkDeferredFwd:
+		o, line, requester, mod := m.nd, m.line, m.to, m.mod
+		s.putMsg(m)
+		s.ownerForward(o, line, requester, mod)
+
+	case mkRetryAccess:
+		nd, addr, write, start, done := m.nd, m.line, m.mod, m.start, m.done
+		s.putMsg(m)
+		s.tryAccess(nd, addr, write, start, done)
+
+	default:
+		panic(fmt.Sprintf("coherence: unknown message kind %d", m.kind))
+	}
 }
 
 // sendForward asks owner to service requester's read (mod=false) or
@@ -28,21 +256,30 @@ func (s *System) sendForward(home *node, line int64, owner, requester topology.N
 		note = "fwd-mod"
 	}
 	s.trace.Emit(trace.Forward, int(home.id), int(owner), line, note)
-	s.send(home.id, owner, network.Forward, network.CtlPacketSize, func() {
-		s.ownerForward(s.nodes[owner], line, requester, mod)
-	})
+	m := s.getMsg()
+	m.kind = mkFwd
+	m.nd = s.nodes[owner]
+	m.line = line
+	m.to = requester
+	m.mod = mod
+	s.post(home.id, owner, network.Forward, network.CtlPacketSize, m)
 }
 
-// ownerForward runs at the owner when a Forward arrives. If the line's
-// fill is itself still in flight, the forward waits for it.
+// ownerForward runs at the owner when a (possibly deferred) Forward is
+// replayed. If the line's fill is itself still in flight, the forward
+// waits for it again.
 func (s *System) ownerForward(o *node, line int64, requester topology.NodeID, mod bool) {
-	if entry, pending := o.maf[line]; pending {
-		entry.deferredFwd = append(entry.deferredFwd, func() {
-			s.ownerForward(o, line, requester, mod)
-		})
+	if entry := o.mafFind(line); entry != nil {
+		entry.deferredFwd = append(entry.deferredFwd, fwdReq{requester: requester, mod: mod})
 		return
 	}
-	s.eng.After(s.params.OwnerLatency, func() { s.serveForward(o, line, requester, mod) })
+	m := s.getMsg()
+	m.kind = mkServeFwd
+	m.nd = o
+	m.line = line
+	m.to = requester
+	m.mod = mod
+	s.eng.AfterArg(s.params.OwnerLatency, deliverLocal, m)
 }
 
 func (s *System) serveForward(o *node, line int64, requester topology.NodeID, mod bool) {
@@ -52,18 +289,29 @@ func (s *System) serveForward(o *node, line int64, requester topology.NodeID, mo
 		// and a sharing writeback to the home.
 		value, retained := o.l2.Downgrade(line)
 		if !retained {
-			v, ok := o.victimBuf[line]
-			if !ok {
+			vs := o.victimFind(line)
+			if vs == nil {
 				panic(fmt.Sprintf("coherence: forward to node %d for absent line %#x", o.id, line))
 			}
-			value = v
+			value = vs.value
 		}
-		s.send(o.id, requester, network.Response, network.DataPacketSize, func() {
-			s.fillArrived(s.nodes[requester], line, value, cache.SharedClean, 0)
-		})
-		s.send(o.id, home, network.Response, network.DataPacketSize, func() {
-			s.shareWBArrived(s.nodes[home], line, value, o.id, requester, retained)
-		})
+		mr := s.getMsg()
+		mr.kind = mkFill
+		mr.nd = s.nodes[requester]
+		mr.line = line
+		mr.value = value
+		mr.granted = cache.SharedClean
+		mr.acks = 0
+		s.post(o.id, requester, network.Response, network.DataPacketSize, mr)
+		mw := s.getMsg()
+		mw.kind = mkShareWB
+		mw.nd = s.nodes[home]
+		mw.line = line
+		mw.value = value
+		mw.from = o.id
+		mw.to = requester
+		mw.retained = retained
+		s.post(o.id, home, network.Response, network.DataPacketSize, mw)
 		return
 	}
 	// Mod forward: yield ownership, data goes straight to the requester.
@@ -71,78 +319,87 @@ func (s *System) serveForward(o *node, line int64, requester topology.NodeID, mo
 	if st, v := o.l2.Invalidate(line); st != cache.Invalid {
 		value = v
 		o.l1.Invalidate(line)
-	} else if v, ok := o.victimBuf[line]; ok {
-		value = v
+	} else if vs := o.victimFind(line); vs != nil {
+		value = vs.value
 	} else {
 		panic(fmt.Sprintf("coherence: mod-forward to node %d for absent line %#x", o.id, line))
 	}
-	s.send(o.id, requester, network.Response, network.DataPacketSize, func() {
-		s.fillArrived(s.nodes[requester], line, value, cache.ExclusiveDirty, 0)
-	})
-	s.send(o.id, home, network.Response, network.CtlPacketSize, func() {
-		s.transferArrived(s.nodes[home], line, requester)
-	})
-}
-
-// shareWBArrived commits a read-forward's writeback at the home: memory is
-// updated and the directory becomes Shared by the requester (and the old
-// owner, if it kept its copy).
-func (s *System) shareWBArrived(home *node, line int64, value uint64, owner, requester topology.NodeID, retained bool) {
-	e := home.dir[line]
-	_, ctl := s.amap.Home(line)
-	home.z[ctl].Access(line, true, func(sim.Time) {
-		e.value = value
-		e.state = dirShared
-		e.sharers = 1 << uint(requester)
-		if retained {
-			e.sharers |= 1 << uint(owner)
-		}
-		s.finish(home, line, e)
-	})
+	mr := s.getMsg()
+	mr.kind = mkFill
+	mr.nd = s.nodes[requester]
+	mr.line = line
+	mr.value = value
+	mr.granted = cache.ExclusiveDirty
+	mr.acks = 0
+	s.post(o.id, requester, network.Response, network.DataPacketSize, mr)
+	mt := s.getMsg()
+	mt.kind = mkTransfer
+	mt.nd = s.nodes[home]
+	mt.line = line
+	mt.to = requester
+	s.post(o.id, home, network.Response, network.CtlPacketSize, mt)
 }
 
 // transferArrived commits a mod-forward at the home: ownership moves to
 // the requester without touching memory.
 func (s *System) transferArrived(home *node, line int64, newOwner topology.NodeID) {
-	e := home.dir[line]
+	_, ctl, slot := s.amap.HomeSlot(line)
+	e := home.dir.find(slot)
+	if e == nil {
+		panic(fmt.Sprintf("coherence: ownership transfer for untracked line %#x", line))
+	}
 	e.state = dirExclusive
 	e.owner = newOwner
 	e.sharers = 0
-	s.finish(home, line, e)
+	s.finish(home, line, ctl, e)
 }
 
 // sendInval tells sharer to drop line; the acknowledgement goes directly
 // to the requester performing the write.
 func (s *System) sendInval(home *node, line int64, sharer, requester topology.NodeID) {
-	s.send(home.id, sharer, network.Forward, network.CtlPacketSize, func() {
-		sh := s.nodes[sharer]
-		if entry, pending := sh.maf[line]; pending {
-			// A fill in flight belongs to an older shared epoch; mark it
-			// so the filled line is dropped once its waiting loads retire.
-			entry.invalPending = true
-		}
-		// Any resident copy is dropped regardless: it predates the write.
-		sh.l2.Invalidate(line)
-		sh.l1.Invalidate(line)
-		s.send(sharer, requester, network.Response, network.CtlPacketSize, func() {
-			s.invAckArrived(s.nodes[requester], line)
-		})
-	})
+	m := s.getMsg()
+	m.kind = mkInval
+	m.nd = s.nodes[sharer]
+	m.line = line
+	m.to = requester
+	s.post(home.id, sharer, network.Forward, network.CtlPacketSize, m)
+}
+
+// invalArrived runs at a sharer when an invalidate lands.
+func (s *System) invalArrived(sh *node, line int64, requester topology.NodeID) {
+	if entry := sh.mafFind(line); entry != nil {
+		// A fill in flight belongs to an older shared epoch; mark it
+		// so the filled line is dropped once its waiting loads retire.
+		entry.invalPending = true
+	}
+	// Any resident copy is dropped regardless: it predates the write.
+	sh.l2.Invalidate(line)
+	sh.l1.Invalidate(line)
+	m := s.getMsg()
+	m.kind = mkInvAck
+	m.nd = s.nodes[requester]
+	m.line = line
+	s.post(sh.id, requester, network.Response, network.CtlPacketSize, m)
 }
 
 // respond sends the home's data response with the granted state and the
 // number of invalidation acks the requester must collect.
 func (s *System) respond(home *node, line int64, requester topology.NodeID, value uint64, granted cache.LineState, acks int) {
 	s.trace.Emit(trace.Response, int(home.id), int(requester), line, granted.String())
-	s.send(home.id, requester, network.Response, network.DataPacketSize, func() {
-		s.fillArrived(s.nodes[requester], line, value, granted, acks)
-	})
+	m := s.getMsg()
+	m.kind = mkFill
+	m.nd = s.nodes[requester]
+	m.line = line
+	m.value = value
+	m.granted = granted
+	m.acks = acks
+	s.post(home.id, requester, network.Response, network.DataPacketSize, m)
 }
 
 // fillArrived records the data response in the requester's MAF.
 func (s *System) fillArrived(nd *node, line int64, value uint64, granted cache.LineState, acks int) {
-	entry, ok := nd.maf[line]
-	if !ok {
+	entry := nd.mafFind(line)
+	if entry == nil {
 		panic(fmt.Sprintf("coherence: fill for line %#x with no MAF entry at node %d", line, nd.id))
 	}
 	entry.dataArrived = true
@@ -154,8 +411,8 @@ func (s *System) fillArrived(nd *node, line int64, value uint64, granted cache.L
 
 // invAckArrived counts one invalidation acknowledgement.
 func (s *System) invAckArrived(nd *node, line int64) {
-	entry, ok := nd.maf[line]
-	if !ok {
+	entry := nd.mafFind(line)
+	if entry == nil {
 		panic(fmt.Sprintf("coherence: inv-ack for line %#x with no MAF entry at node %d", line, nd.id))
 	}
 	entry.acksGot++
@@ -171,9 +428,12 @@ func (s *System) maybeComplete(nd *node, entry *mafEntry) {
 
 // completeFill installs the granted line, retires the MAF entry, then
 // runs waiting accesses, deferred forwards and structural stalls. The
-// cache install and MAF removal happen strictly before any waiter
+// cache install and MAF release happen strictly before any waiter
 // callback runs: a callback may immediately re-access the same line, and
-// it must see the filled cache, not the dying transaction.
+// it must see the filled cache, not the dying transaction. Waiters are
+// partitioned into the node's reused scratch buffers — completeFill never
+// nests (fills arrive only from the event queue), so one set per node is
+// enough and the steady state allocates nothing.
 func (s *System) completeFill(nd *node, entry *mafEntry) {
 	line := entry.line
 	value := entry.value
@@ -182,11 +442,12 @@ func (s *System) completeFill(nd *node, entry *mafEntry) {
 
 	// Partition waiters: stores granted exclusive apply their increments
 	// (ownership serializes them globally); stores granted only shared
-	// must upgrade in a fresh transaction.
-	var completed, retryWrites []waiter
+	// must upgrade in a fresh transaction and stay on the entry.
+	completed := nd.scratchDone[:0]
+	retained := entry.waiters[:0]
 	for _, w := range entry.waiters {
 		if w.write && granted != cache.ExclusiveDirty {
-			retryWrites = append(retryWrites, w)
+			retained = append(retained, w)
 			continue
 		}
 		if w.write {
@@ -194,6 +455,10 @@ func (s *System) completeFill(nd *node, entry *mafEntry) {
 		}
 		completed = append(completed, w)
 	}
+	for i := len(retained); i < len(entry.waiters); i++ {
+		entry.waiters[i] = waiter{}
+	}
+	entry.waiters = retained
 
 	// Install in the caches (unless an invalidation for the shared epoch
 	// arrived while the fill was in flight).
@@ -208,27 +473,49 @@ func (s *System) completeFill(nd *node, entry *mafEntry) {
 		nd.l1.Fill(line, cache.SharedClean, 0)
 	}
 
-	deferred := entry.deferredFwd
-	delete(nd.maf, line)
-
-	if len(retryWrites) > 0 {
-		upgrade := &mafEntry{line: line, write: true, waiters: retryWrites}
-		nd.maf[line] = upgrade
-		// Deferred forwards now target the shared copy we hold; serve
-		// them against the new transaction's MAF like fresh arrivals.
-		upgrade.deferredFwd = deferred
-		deferred = nil
-		s.eng.After(s.params.CoreOverhead, func() { s.sendRequest(nd, line, true) })
+	deferred := nd.scratchFwd[:0]
+	if len(entry.waiters) > 0 {
+		// The entry lives on as the upgrade transaction. Deferred
+		// forwards now target the shared copy we hold; they stay
+		// attached and are served against the upgrade's fill like fresh
+		// arrivals.
+		entry.write = true
+		entry.invalPending = false
+		entry.dataArrived = false
+		entry.granted = cache.Invalid
+		entry.acksExpected = 0
+		entry.acksGot = 0
+		entry.value = 0
+		m := s.getMsg()
+		m.kind = mkSendReq
+		m.nd = nd
+		m.line = line
+		m.mod = true
+		s.eng.AfterArg(s.params.CoreOverhead, deliverLocal, m)
+	} else {
+		deferred = append(deferred, entry.deferredFwd...)
+		entry.release()
 	}
 
 	for _, w := range completed {
 		s.recordMiss(nd, now-w.start)
 		w.done(now - w.start)
 	}
-
-	for _, fwd := range deferred {
-		s.eng.After(0, fwd)
+	for i := range completed {
+		completed[i] = waiter{}
 	}
+	nd.scratchDone = completed[:0]
+
+	for _, f := range deferred {
+		m := s.getMsg()
+		m.kind = mkDeferredFwd
+		m.nd = nd
+		m.line = line
+		m.to = f.requester
+		m.mod = f.mod
+		s.eng.AfterArg(0, deliverLocal, m)
+	}
+	nd.scratchFwd = deferred[:0]
 
 	s.releaseStalled(nd)
 }
@@ -239,48 +526,74 @@ func (s *System) recordMiss(nd *node, lat sim.Time) {
 }
 
 // evictVictim sends a dirty line back to its home and holds the data in
-// the victim buffer until the home acknowledges; accesses to the line
-// stall until then (closing the victim/forward race).
+// a victim slot until the home acknowledges; accesses to the line stall
+// until then (closing the victim/forward race).
 func (s *System) evictVictim(nd *node, v cache.Victim) {
 	nd.stats.VictimsSent++
-	nd.victimBuf[v.Addr] = v.Value
+	nd.victimAdd(v.Addr, v.Value)
 	home, _ := s.amap.Home(v.Addr)
 	s.trace.Emit(trace.Victim, int(nd.id), int(home), v.Addr, "writeback")
-	msg := homeMsg{kind: msgVictim, from: nd.id, value: v.Value}
-	if home == nd.id {
-		s.eng.After(0, func() { s.homeReceive(nd, v.Addr, msg) })
-		return
-	}
-	s.net.Send(&network.Packet{
-		Src: nd.id, Dst: home, Class: network.Request, Size: network.DataPacketSize,
-		OnDeliver: func() { s.homeReceive(s.nodes[home], v.Addr, msg) },
-	})
+	m := s.getMsg()
+	m.kind = mkHomeMsg
+	m.hkind = msgVictim
+	m.nd = s.nodes[home]
+	m.from = nd.id
+	m.line = v.Addr
+	m.value = v.Value
+	s.post(nd.id, home, network.Request, network.DataPacketSize, m)
 }
 
 func (s *System) sendVictimAck(home *node, line int64, to topology.NodeID) {
-	s.send(home.id, to, network.Response, network.CtlPacketSize, func() {
-		s.victimAckArrived(s.nodes[to], line)
-	})
+	m := s.getMsg()
+	m.kind = mkVictimAck
+	m.nd = s.nodes[to]
+	m.line = line
+	s.post(home.id, to, network.Response, network.CtlPacketSize, m)
 }
 
 func (s *System) victimAckArrived(nd *node, line int64) {
-	if _, ok := nd.victimBuf[line]; !ok {
+	vs := nd.victimFind(line)
+	if vs == nil {
 		panic(fmt.Sprintf("coherence: victim ack for line %#x with no victim at node %d", line, nd.id))
 	}
-	delete(nd.victimBuf, line)
-	waiters := nd.victimWaiters[line]
-	delete(nd.victimWaiters, line)
-	for _, op := range waiters {
-		op := op
-		s.eng.After(0, func() { s.tryAccess(nd, op.addr, op.write, op.start, op.done) })
+	vs.line = -1
+	for i := range vs.waiters {
+		op := vs.waiters[i]
+		m := s.getMsg()
+		m.kind = mkRetryAccess
+		m.nd = nd
+		m.line = op.addr
+		m.mod = op.write
+		m.start = op.start
+		m.done = op.done
+		s.eng.AfterArg(0, deliverLocal, m)
+		vs.waiters[i] = stalledOp{}
 	}
+	vs.waiters = vs.waiters[:0]
 }
 
-// releaseStalled admits operations parked on a full MAF.
+// releaseStalled admits operations parked on a full MAF. The stall queue
+// is head-indexed so its backing array is reused instead of leaking a
+// slice head per admitted operation; like dirEntry.popQueue, the dead
+// prefix is compacted once it reaches half the slice, so a MAF pinned at
+// capacity for a whole run keeps the queue at O(peak depth).
 func (s *System) releaseStalled(nd *node) {
-	for len(nd.mafStalled) > 0 && len(nd.maf) < s.params.MAFEntries {
-		op := nd.mafStalled[0]
-		nd.mafStalled = nd.mafStalled[1:]
+	for nd.stalledHead < len(nd.mafStalled) && nd.mafLive < s.params.MAFEntries {
+		op := nd.mafStalled[nd.stalledHead]
+		nd.mafStalled[nd.stalledHead] = stalledOp{}
+		nd.stalledHead++
+		switch {
+		case nd.stalledHead == len(nd.mafStalled):
+			nd.mafStalled = nd.mafStalled[:0]
+			nd.stalledHead = 0
+		case nd.stalledHead >= 16 && nd.stalledHead*2 >= len(nd.mafStalled):
+			n := copy(nd.mafStalled, nd.mafStalled[nd.stalledHead:])
+			for i := n; i < len(nd.mafStalled); i++ {
+				nd.mafStalled[i] = stalledOp{}
+			}
+			nd.mafStalled = nd.mafStalled[:n]
+			nd.stalledHead = 0
+		}
 		s.tryAccess(nd, op.addr, op.write, op.start, op.done)
 	}
 }
@@ -291,12 +604,12 @@ func (s *System) releaseStalled(nd *node) {
 // pending); property tests use it to prove no update was lost.
 func (s *System) LineValue(line int64) uint64 {
 	line = s.amap.Align(line)
-	home, _ := s.amap.Home(line)
-	e := s.nodes[home].dir[line]
+	home, _, slot := s.amap.HomeSlot(line)
+	e := s.nodes[home].dir.find(slot)
 	if e == nil {
 		return 0
 	}
-	if e.busy || len(e.queue) > 0 {
+	if e.busy || e.queued() > 0 {
 		panic(fmt.Sprintf("coherence: LineValue on busy line %#x", line))
 	}
 	if e.state != dirExclusive {
@@ -306,8 +619,8 @@ func (s *System) LineValue(line int64) uint64 {
 	if v, ok := owner.l2.Value(line); ok {
 		return v
 	}
-	if v, ok := owner.victimBuf[line]; ok {
-		return v
+	if vs := owner.victimFind(line); vs != nil {
+		return vs.value
 	}
 	panic(fmt.Sprintf("coherence: owner %d holds no data for line %#x", e.owner, line))
 }
@@ -317,37 +630,49 @@ func (s *System) LineValue(line int64) uint64 {
 // never dirty anywhere, and no MAF or victim entries remain.
 func (s *System) CheckInvariants() error {
 	for _, nd := range s.nodes {
-		if len(nd.maf) != 0 {
-			return fmt.Errorf("node %d has %d live MAF entries", nd.id, len(nd.maf))
+		if nd.mafLive != 0 {
+			return fmt.Errorf("node %d has %d live MAF entries", nd.id, nd.mafLive)
 		}
-		if len(nd.victimBuf) != 0 {
-			return fmt.Errorf("node %d has %d unacked victims", nd.id, len(nd.victimBuf))
+		if live := nd.victimLive(); live != 0 {
+			return fmt.Errorf("node %d has %d unacked victims", nd.id, live)
 		}
-		if len(nd.mafStalled) != 0 {
-			return fmt.Errorf("node %d has %d stalled ops", nd.id, len(nd.mafStalled))
+		if stalled := len(nd.mafStalled) - nd.stalledHead; stalled != 0 {
+			return fmt.Errorf("node %d has %d stalled ops", nd.id, stalled)
 		}
 	}
+	var err error
 	for _, home := range s.nodes {
-		for line, e := range home.dir {
-			if e.busy || len(e.queue) > 0 {
-				return fmt.Errorf("line %#x busy at quiesce", line)
+		home.dir.forEach(func(slot int64, e *dirEntry) {
+			if err != nil {
+				return
+			}
+			line := s.amap.SlotLine(home.id, slot)
+			if e.busy || e.queued() > 0 {
+				err = fmt.Errorf("line %#x busy at quiesce", line)
+				return
 			}
 			for _, nd := range s.nodes {
 				st := nd.l2.Lookup(line)
 				switch e.state {
 				case dirExclusive:
 					if st != cache.Invalid && nd.id != e.owner {
-						return fmt.Errorf("line %#x exclusive at %d but cached %v at %d", line, e.owner, st, nd.id)
+						err = fmt.Errorf("line %#x exclusive at %d but cached %v at %d", line, e.owner, st, nd.id)
+						return
 					}
 					if nd.id == e.owner && st != cache.ExclusiveDirty {
-						return fmt.Errorf("line %#x owner %d holds state %v", line, e.owner, st)
+						err = fmt.Errorf("line %#x owner %d holds state %v", line, e.owner, st)
+						return
 					}
 				default:
 					if st == cache.ExclusiveDirty {
-						return fmt.Errorf("line %#x state %d but dirty at node %d", line, e.state, nd.id)
+						err = fmt.Errorf("line %#x state %d but dirty at node %d", line, e.state, nd.id)
+						return
 					}
 				}
 			}
+		})
+		if err != nil {
+			return err
 		}
 	}
 	return nil

@@ -79,13 +79,45 @@ type homeMsg struct {
 	value uint64 // victim data
 }
 
+// dirEntry is one line's home directory state, stored in the home's
+// slot-indexed dirTable. The zero value is a fresh idle entry; used is
+// set on the first request so quiesced-state inspection can tell touched
+// lines from never-referenced ones. The transaction queue is
+// head-indexed so its backing array is reused across the entry's whole
+// lifetime instead of leaking a slice head per pop.
 type dirEntry struct {
 	state   dirState
 	owner   topology.NodeID
 	sharers uint64
 	value   uint64
 	busy    bool
+	used    bool
 	queue   []homeMsg
+	qhead   int
+}
+
+func (e *dirEntry) queued() int { return len(e.queue) - e.qhead }
+
+func (e *dirEntry) pushQueue(m homeMsg) { e.queue = append(e.queue, m) }
+
+// popQueue removes the head message. A continuously contended line never
+// fully drains, so in addition to the reset-when-empty fast path the dead
+// prefix is compacted away once it reaches half the slice: memory stays
+// O(peak depth) however many requests pass through, and each element is
+// copied at most once per compaction window — amortized O(1).
+func (e *dirEntry) popQueue() homeMsg {
+	m := e.queue[e.qhead]
+	e.qhead++
+	switch {
+	case e.qhead == len(e.queue):
+		e.queue = e.queue[:0]
+		e.qhead = 0
+	case e.qhead >= 16 && e.qhead*2 >= len(e.queue):
+		n := copy(e.queue, e.queue[e.qhead:])
+		e.queue = e.queue[:n]
+		e.qhead = 0
+	}
+	return m
 }
 
 type waiter struct {
@@ -94,17 +126,47 @@ type waiter struct {
 	done  func(lat sim.Time)
 }
 
+// fwdReq is a Forward that arrived at an owner whose own fill for the line
+// is still in flight; it replays once the fill completes. It replaces the
+// former deferred closure chain: two words of data instead of a heap
+// closure per deferral.
+type fwdReq struct {
+	requester topology.NodeID
+	mod       bool
+}
+
+// mafEntry is one outstanding miss. Entries live in a fixed array sized
+// Params.MAFEntries per node — the EV7's own structure bound — and are
+// found by a linear scan of at most that many int64 compares, which beats
+// a map lookup at this size by a wide margin. line == -1 marks a free
+// slot. The waiters and deferredFwd backings are retained across reuse.
 type mafEntry struct {
 	line         int64
+	nd           *node
 	write        bool
-	waiters      []waiter
-	deferredFwd  []func()
 	invalPending bool
-	acksExpected int
-	acksGot      int
 	dataArrived  bool
 	granted      cache.LineState
+	acksExpected int
+	acksGot      int
 	value        uint64
+	waiters      []waiter
+	deferredFwd  []fwdReq
+}
+
+// release returns the entry to the free state, dropping callback
+// references so completed transactions cannot pin their waiters.
+func (e *mafEntry) release() {
+	e.line = -1
+	for i := range e.waiters {
+		e.waiters[i] = waiter{}
+	}
+	e.waiters = e.waiters[:0]
+	for i := range e.deferredFwd {
+		e.deferredFwd[i] = fwdReq{}
+	}
+	e.deferredFwd = e.deferredFwd[:0]
+	e.nd.mafLive--
 }
 
 type stalledOp struct {
@@ -112,6 +174,16 @@ type stalledOp struct {
 	write bool
 	start sim.Time
 	done  func(lat sim.Time)
+}
+
+// victimSlot holds one unacknowledged victim writeback and the accesses
+// parked on it. Slots live in a small linearly scanned array (line == -1
+// free), mirroring the EV7's victim buffers; a node rarely has more than a
+// few in flight.
+type victimSlot struct {
+	line    int64
+	value   uint64
+	waiters []stalledOp
 }
 
 // NodeStats aggregates per-node protocol counters.
@@ -135,13 +207,85 @@ type node struct {
 	l2  *cache.Cache
 	z   [2]*memctrl.Controller
 
-	dir           map[int64]*dirEntry
-	maf           map[int64]*mafEntry
-	mafStalled    []stalledOp
-	victimBuf     map[int64]uint64
-	victimWaiters map[int64][]stalledOp
+	dir         dirTable
+	maf         []mafEntry
+	mafLive     int
+	mafStalled  []stalledOp
+	stalledHead int
+	victims     []victimSlot
+
+	// scratchDone/scratchFwd are completeFill's reused partition buffers;
+	// completeFill never nests (fills arrive only from the event queue),
+	// so one set per node suffices.
+	scratchDone []waiter
+	scratchFwd  []fwdReq
 
 	stats NodeStats
+}
+
+// mafFind returns the live MAF entry for line, or nil.
+func (nd *node) mafFind(line int64) *mafEntry {
+	for i := range nd.maf {
+		if nd.maf[i].line == line {
+			return &nd.maf[i]
+		}
+	}
+	return nil
+}
+
+// mafAlloc claims a free MAF slot for line. The caller has checked
+// occupancy against Params.MAFEntries.
+func (nd *node) mafAlloc(line int64, write bool) *mafEntry {
+	for i := range nd.maf {
+		e := &nd.maf[i]
+		if e.line == -1 {
+			e.line = line
+			e.write = write
+			e.invalPending = false
+			e.dataArrived = false
+			e.granted = cache.Invalid
+			e.acksExpected = 0
+			e.acksGot = 0
+			e.value = 0
+			nd.mafLive++
+			return e
+		}
+	}
+	panic("coherence: MAF alloc with no free slot")
+}
+
+// victimFind returns the victim slot holding line, or nil.
+func (nd *node) victimFind(line int64) *victimSlot {
+	for i := range nd.victims {
+		if nd.victims[i].line == line {
+			return &nd.victims[i]
+		}
+	}
+	return nil
+}
+
+// victimAdd claims a victim slot for line, growing the array only when
+// every existing slot is in flight.
+func (nd *node) victimAdd(line int64, value uint64) {
+	for i := range nd.victims {
+		if nd.victims[i].line == -1 {
+			nd.victims[i].line = line
+			nd.victims[i].value = value
+			return
+		}
+	}
+	nd.victims = append(nd.victims, victimSlot{line: line, value: value})
+}
+
+// victimLive counts unacknowledged victims (for invariant checks).
+func (nd *node) victimLive() int {
+	live := 0
+	for i := range nd.victims {
+		if nd.victims[i].line != -1 {
+			live++
+		}
+	}
+	return live
 }
 
 // System is the coherence fabric of a GS1280 machine: one protocol engine
@@ -153,6 +297,10 @@ type System struct {
 	params Params
 	nodes  []*node
 	trace  *trace.Buffer
+
+	// freeMsgs pools the protocol's message/transaction records (see
+	// messages.go); steady state recycles a few dozen.
+	freeMsgs []*msg
 }
 
 // SetTrace attaches a trace buffer; protocol transactions are recorded
@@ -175,18 +323,20 @@ func NewSystem(eng *sim.Engine, net *network.Network, amap AddressMap, params Pa
 	s := &System{eng: eng, net: net, amap: amap, params: params}
 	s.nodes = make([]*node, n)
 	for i := range s.nodes {
-		s.nodes[i] = &node{
-			sys:           s,
-			id:            topology.NodeID(i),
-			l1:            cache.New(params.L1Bytes, params.L1Ways, params.LineBytes),
-			l2:            cache.New(params.L2Bytes, params.L2Ways, params.LineBytes),
-			dir:           make(map[int64]*dirEntry),
-			maf:           make(map[int64]*mafEntry),
-			victimBuf:     make(map[int64]uint64),
-			victimWaiters: make(map[int64][]stalledOp),
+		nd := &node{
+			sys: s,
+			id:  topology.NodeID(i),
+			l1:  cache.New(params.L1Bytes, params.L1Ways, params.LineBytes),
+			l2:  cache.New(params.L2Bytes, params.L2Ways, params.LineBytes),
+			maf: make([]mafEntry, params.MAFEntries),
 		}
-		s.nodes[i].z[0] = memctrl.New(eng, zboxParams)
-		s.nodes[i].z[1] = memctrl.New(eng, zboxParams)
+		for j := range nd.maf {
+			nd.maf[j].line = -1
+			nd.maf[j].nd = nd
+		}
+		nd.z[0] = memctrl.New(eng, zboxParams)
+		nd.z[1] = memctrl.New(eng, zboxParams)
+		s.nodes[i] = nd
 	}
 	return s
 }
@@ -267,9 +417,15 @@ func (s *System) tryAccess(nd *node, addr int64, write bool, start sim.Time, don
 	s.startMiss(nd, line, write, start, done)
 }
 
+// complete schedules done(lat) at now+lat through a pooled record; the
+// cache-hit fast path allocates nothing.
 func (s *System) complete(nd *node, start, lat sim.Time, done func(sim.Time)) {
 	end := s.eng.Now() + lat
-	s.eng.At(end, func() { done(end - start) })
+	m := s.getMsg()
+	m.kind = mkComplete
+	m.done = done
+	m.lat = end - start
+	s.eng.AtArg(end, deliverLocal, m)
 }
 
 // startMiss allocates (or joins) a MAF entry for line and issues the
@@ -277,114 +433,109 @@ func (s *System) complete(nd *node, start, lat sim.Time, done func(sim.Time)) {
 func (s *System) startMiss(nd *node, line int64, write bool, start sim.Time, done func(sim.Time)) {
 	// A line with an unacknowledged victim writeback may not be
 	// re-requested; park the access until the VictimAck arrives.
-	if _, pending := nd.victimBuf[line]; pending {
-		nd.victimWaiters[line] = append(nd.victimWaiters[line], stalledOp{line, write, start, done})
+	if vs := nd.victimFind(line); vs != nil {
+		vs.waiters = append(vs.waiters, stalledOp{line, write, start, done})
 		return
 	}
-	if entry, ok := nd.maf[line]; ok {
+	if entry := nd.mafFind(line); entry != nil {
 		entry.waiters = append(entry.waiters, waiter{write: write, start: start, done: done})
 		return
 	}
-	if len(nd.maf) >= s.params.MAFEntries {
+	if nd.mafLive >= s.params.MAFEntries {
 		nd.mafStalled = append(nd.mafStalled, stalledOp{line, write, start, done})
 		return
 	}
-	entry := &mafEntry{line: line, write: write}
+	entry := nd.mafAlloc(line, write)
 	entry.waiters = append(entry.waiters, waiter{write: write, start: start, done: done})
-	nd.maf[line] = entry
-	s.eng.After(s.params.CoreOverhead, func() { s.sendRequest(nd, line, write) })
+	m := s.getMsg()
+	m.kind = mkSendReq
+	m.nd = nd
+	m.line = line
+	m.mod = write
+	s.eng.AfterArg(s.params.CoreOverhead, deliverLocal, m)
 }
 
 // sendRequest transmits the Read/ReadMod request to the line's home.
 func (s *System) sendRequest(nd *node, line int64, write bool) {
 	home, _ := s.amap.Home(line)
 	kind := msgRead
-	if write {
-		kind = msgReadMod
-	}
 	note := "read"
 	if write {
+		kind = msgReadMod
 		note = "readmod"
 	}
 	s.trace.Emit(trace.Request, int(nd.id), int(home), line, note)
-	msg := homeMsg{kind: kind, from: nd.id}
-	if home == nd.id {
-		s.eng.After(0, func() { s.homeReceive(s.nodes[home], line, msg) })
-		return
-	}
-	s.net.Send(&network.Packet{
-		Src: nd.id, Dst: home, Class: network.Request, Size: network.CtlPacketSize,
-		OnDeliver: func() { s.homeReceive(s.nodes[home], line, msg) },
-	})
+	m := s.getMsg()
+	m.kind = mkHomeMsg
+	m.hkind = kind
+	m.nd = s.nodes[home]
+	m.from = nd.id
+	m.line = line
+	s.post(nd.id, home, network.Request, network.CtlPacketSize, m)
 }
 
 // homeReceive is the arrival point for requests and victims at a home.
-func (s *System) homeReceive(home *node, line int64, msg homeMsg) {
-	e := home.dir[line]
-	if e == nil {
-		e = &dirEntry{}
-		home.dir[line] = e
-	}
+func (s *System) homeReceive(home *node, line int64, hm homeMsg) {
+	_, ctl, slot := s.amap.HomeSlot(line)
+	e := home.dir.get(slot)
+	e.used = true
 	if e.busy {
-		if msg.kind != msgVictim && s.params.NAKThreshold > 0 && len(e.queue) >= s.params.NAKThreshold {
+		if hm.kind != msgVictim && s.params.NAKThreshold > 0 && e.queued() >= s.params.NAKThreshold {
 			home.stats.NAKs++
-			s.trace.Emit(trace.NAK, int(home.id), int(msg.from), line, "busy")
-			s.sendNAK(home, line, msg)
+			s.trace.Emit(trace.NAK, int(home.id), int(hm.from), line, "busy")
+			s.sendNAK(home, line, hm)
 			return
 		}
-		e.queue = append(e.queue, msg)
+		e.pushQueue(hm)
 		return
 	}
-	s.dispatch(home, line, e, msg)
+	s.dispatch(home, line, ctl, e, hm)
 }
 
 // sendNAK bounces an over-queued request back to the requester, which
 // retries after a backoff. This is what bends the Fig 15 load-test curve
 // backward past saturation when enabled.
-func (s *System) sendNAK(home *node, line int64, msg homeMsg) {
-	requester := s.nodes[msg.from]
-	retry := func() {
-		requester.stats.Retries++
-		s.eng.After(s.params.RetryBackoff, func() {
-			s.sendRequest(requester, line, msg.kind == msgReadMod)
-		})
-	}
-	if home.id == msg.from {
-		s.eng.After(0, retry)
-		return
-	}
-	s.net.Send(&network.Packet{
-		Src: home.id, Dst: msg.from, Class: network.Response, Size: network.CtlPacketSize,
-		OnDeliver: retry,
-	})
+func (s *System) sendNAK(home *node, line int64, hm homeMsg) {
+	m := s.getMsg()
+	m.kind = mkRetry
+	m.nd = s.nodes[hm.from]
+	m.line = line
+	m.mod = hm.kind == msgReadMod
+	s.post(home.id, hm.from, network.Response, network.CtlPacketSize, m)
 }
 
 // dispatch begins processing one transaction; the entry is marked busy
-// until the transaction's home-side work completes.
-func (s *System) dispatch(home *node, line int64, e *dirEntry, msg homeMsg) {
+// until the transaction's home-side work completes. ctl is the line's
+// controller index, decoded once at homeReceive and threaded through the
+// whole home-side transaction.
+func (s *System) dispatch(home *node, line int64, ctl int, e *dirEntry, hm homeMsg) {
 	e.busy = true
-	if msg.kind == msgVictim {
-		s.processVictim(home, line, e, msg)
+	if hm.kind == msgVictim {
+		s.processVictim(home, line, ctl, e, hm)
 		return
 	}
 	// Every request reads the directory (kept in RDRAM ECC on the EV7)
 	// and, usually, the data: one Zbox access.
-	_, ctl := s.amap.Home(line)
-	home.z[ctl].Access(line, false, func(sim.Time) {
-		s.processRequest(home, line, e, msg)
-	})
+	m := s.getMsg()
+	m.kind = mkZboxRead
+	m.nd = home
+	m.line = line
+	m.ctl = ctl
+	m.e = e
+	m.from = hm.from
+	m.hkind = hm.kind
+	home.z[ctl].AccessArg(line, false, deliverLocal, m)
 }
 
-func (s *System) processRequest(home *node, line int64, e *dirEntry, msg homeMsg) {
-	from := msg.from
+func (s *System) processRequest(home *node, line int64, ctl int, e *dirEntry, from topology.NodeID, kind homeMsgKind) {
 	switch {
-	case msg.kind == msgRead && e.state != dirExclusive:
+	case kind == msgRead && e.state != dirExclusive:
 		e.state = dirShared
 		e.sharers |= 1 << uint(from)
 		s.respond(home, line, from, e.value, cache.SharedClean, 0)
-		s.finish(home, line, e)
+		s.finish(home, line, ctl, e)
 
-	case msg.kind == msgRead: // Exclusive elsewhere: 3-hop read-dirty.
+	case kind == msgRead: // Exclusive elsewhere: 3-hop read-dirty.
 		if e.owner == from {
 			panic(fmt.Sprintf("coherence: node %d re-requested owned line %#x", from, line))
 		}
@@ -396,7 +547,7 @@ func (s *System) processRequest(home *node, line int64, e *dirEntry, msg homeMsg
 		e.owner = from
 		e.sharers = 0
 		s.respond(home, line, from, e.value, cache.ExclusiveDirty, 0)
-		s.finish(home, line, e)
+		s.finish(home, line, ctl, e)
 
 	case e.state == dirShared:
 		acks := 0
@@ -412,7 +563,7 @@ func (s *System) processRequest(home *node, line int64, e *dirEntry, msg homeMsg
 		e.owner = from
 		e.sharers = 0
 		s.respond(home, line, from, e.value, cache.ExclusiveDirty, acks)
-		s.finish(home, line, e)
+		s.finish(home, line, ctl, e)
 
 	default: // ReadMod on Exclusive: forward-mod, 3-hop dirty transfer.
 		if e.owner == from {
@@ -424,33 +575,32 @@ func (s *System) processRequest(home *node, line int64, e *dirEntry, msg homeMsg
 }
 
 // finish completes the home-side transaction and drains the queue.
-func (s *System) finish(home *node, line int64, e *dirEntry) {
+func (s *System) finish(home *node, line int64, ctl int, e *dirEntry) {
 	e.busy = false
-	if len(e.queue) == 0 {
+	if e.queued() == 0 {
 		return
 	}
-	msg := e.queue[0]
-	e.queue = e.queue[1:]
-	s.dispatch(home, line, e, msg)
+	s.dispatch(home, line, ctl, e, e.popQueue())
 }
 
 // processVictim applies an owner writeback. A victim from a node that is
 // no longer the owner is stale (its data already reached memory through a
 // ShareWB); it is acknowledged without a memory write.
-func (s *System) processVictim(home *node, line int64, e *dirEntry, msg homeMsg) {
-	if e.state == dirExclusive && e.owner == msg.from {
-		_, ctl := s.amap.Home(line)
-		home.z[ctl].Access(line, true, func(sim.Time) {
-			e.value = msg.value
-			e.state = dirIdle
-			e.sharers = 0
-			s.sendVictimAck(home, line, msg.from)
-			s.finish(home, line, e)
-		})
+func (s *System) processVictim(home *node, line int64, ctl int, e *dirEntry, hm homeMsg) {
+	if e.state == dirExclusive && e.owner == hm.from {
+		m := s.getMsg()
+		m.kind = mkZboxVictim
+		m.nd = home
+		m.line = line
+		m.ctl = ctl
+		m.e = e
+		m.from = hm.from
+		m.value = hm.value
+		home.z[ctl].AccessArg(line, true, deliverLocal, m)
 		return
 	}
-	s.sendVictimAck(home, line, msg.from)
-	s.finish(home, line, e)
+	s.sendVictimAck(home, line, hm.from)
+	s.finish(home, line, ctl, e)
 }
 
 func trailingZeros(v uint64) int {

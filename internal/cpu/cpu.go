@@ -73,12 +73,49 @@ type CPU struct {
 
 	stream      Stream
 	onDone      func()
-	pending     *Op
+	pending     Op
+	hasPending  bool
 	outstanding int
 	computing   bool
 	running     bool
 
+	// freeDone pools per-operation completion records; the pool tops out
+	// at mlp live records, and each carries its Port callback bound once,
+	// so the steady-state issue/complete cycle allocates nothing.
+	freeDone []*opDone
+	// stepFn/computeFn are step and the compute-gap resume bound once;
+	// scheduling a fresh method value per event would allocate.
+	stepFn    func()
+	computeFn func()
+
 	stats Stats
+}
+
+// opDone carries one in-flight operation's completion callback. It is the
+// "small arg struct" of the zero-alloc convention: cpu.issue borrows a
+// record, stores the operation kind, and hands the pre-bound fn to the
+// memory system instead of a fresh closure.
+type opDone struct {
+	c     *CPU
+	write bool
+	fn    func(sim.Time) // (*opDone).complete, bound once at pool insert
+}
+
+// complete retires one operation. The record is released before step runs:
+// step may issue a new operation immediately and wants the record back.
+func (d *opDone) complete(lat sim.Time) {
+	c := d.c
+	c.outstanding--
+	c.stats.Ops++
+	if d.write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	c.stats.LatencySum += lat
+	c.stats.FinishedAt = c.eng.Now()
+	c.freeDone = append(c.freeDone, d)
+	c.step()
 }
 
 // New builds a CPU with the given memory-level parallelism bound.
@@ -89,7 +126,13 @@ func New(eng *sim.Engine, id, mlp int, port Port) *CPU {
 	if port == nil {
 		panic("cpu: nil port")
 	}
-	return &CPU{eng: eng, id: id, mlp: mlp, port: port}
+	c := &CPU{eng: eng, id: id, mlp: mlp, port: port}
+	c.stepFn = c.step
+	c.computeFn = func() {
+		c.computing = false
+		c.step()
+	}
+	return c
 }
 
 // ID reports the CPU's index within its machine.
@@ -134,11 +177,11 @@ func (c *CPU) Run(s Stream, onDone func()) {
 	c.stream = s
 	c.onDone = onDone
 	c.running = true
-	c.pending = nil
+	c.hasPending = false
 	c.stats.StartedAt = c.eng.Now()
 	// Enter the issue loop from the event queue so Run composes with
 	// other same-instant setup.
-	c.eng.After(0, c.step)
+	c.eng.After(0, c.stepFn)
 }
 
 // step issues as many operations as dependences, compute, and the MLP
@@ -148,7 +191,7 @@ func (c *CPU) step() {
 		return
 	}
 	for c.outstanding < c.mlp {
-		if c.pending == nil {
+		if !c.hasPending {
 			op, ok := c.stream.Next()
 			if !ok {
 				if c.outstanding == 0 {
@@ -156,7 +199,8 @@ func (c *CPU) step() {
 				}
 				return
 			}
-			c.pending = &op
+			c.pending = op
+			c.hasPending = true
 		}
 		if c.pending.Dependent && c.outstanding > 0 {
 			return
@@ -165,10 +209,7 @@ func (c *CPU) step() {
 			compute := c.pending.Compute
 			c.pending.Compute = 0
 			c.computing = true
-			c.eng.After(compute, func() {
-				c.computing = false
-				c.step()
-			})
+			c.eng.After(compute, c.computeFn)
 			return
 		}
 		c.issue()
@@ -176,21 +217,19 @@ func (c *CPU) step() {
 }
 
 func (c *CPU) issue() {
-	op := *c.pending
-	c.pending = nil
+	op := c.pending
+	c.hasPending = false
 	c.outstanding++
-	c.port.Access(op.Addr, op.Write, func(lat sim.Time) {
-		c.outstanding--
-		c.stats.Ops++
-		if op.Write {
-			c.stats.Writes++
-		} else {
-			c.stats.Reads++
-		}
-		c.stats.LatencySum += lat
-		c.stats.FinishedAt = c.eng.Now()
-		c.step()
-	})
+	var d *opDone
+	if n := len(c.freeDone); n > 0 {
+		d = c.freeDone[n-1]
+		c.freeDone = c.freeDone[:n-1]
+	} else {
+		d = &opDone{c: c}
+		d.fn = d.complete
+	}
+	d.write = op.Write
+	c.port.Access(op.Addr, op.Write, d.fn)
 }
 
 func (c *CPU) finish() {

@@ -66,8 +66,33 @@ type Controller struct {
 	// openRing holds the banks with open pages in opening order; when it
 	// exceeds MaxOpenPages the oldest page is closed.
 	openRing []int
+	// free is the pool of latency-completion records behind Access; a
+	// controller has at most a handful in flight, so the pool stays tiny
+	// and the steady-state access path allocates nothing.
+	free []*completion
 
 	reads, writes, pageHits, pageMisses uint64
+}
+
+// completion carries one Access's callback from issue to the scheduled
+// completion instant. Pooled so the closure-free path through sim.AtArg
+// stays allocation-free.
+type completion struct {
+	c      *Controller
+	done   func(lat sim.Time)
+	issued sim.Time
+	doneAt sim.Time
+}
+
+// runCompletion dispatches a pooled completion: the record is released
+// before the callback runs, because the callback may immediately issue
+// another access and want the record back.
+func runCompletion(a any) {
+	cp := a.(*completion)
+	done, lat := cp.done, cp.doneAt-cp.issued
+	cp.done = nil
+	cp.c.free = append(cp.c.free, cp)
+	done(lat)
 }
 
 // New returns a controller with all pages closed.
@@ -102,6 +127,32 @@ func (c *Controller) Params() Params { return c.params }
 // Params.Bandwidth.
 func (c *Controller) Access(addr int64, write bool, done func(lat sim.Time)) {
 	issued := c.eng.Now()
+	doneAt := c.schedule(addr, write)
+	var cp *completion
+	if n := len(c.free); n > 0 {
+		cp = c.free[n-1]
+		c.free = c.free[:n-1]
+	} else {
+		cp = &completion{c: c}
+	}
+	cp.done, cp.issued, cp.doneAt = done, issued, doneAt
+	c.eng.AtArg(doneAt, runCompletion, cp)
+}
+
+// AccessArg performs one line read or write at addr and schedules fn(arg)
+// at completion. It is the zero-allocation variant of Access for callers
+// that carry their own transaction state and do not need the latency
+// reported (the coherence layer's home-side directory reads and victim
+// writes): fn is pre-bound and arg pooled by the caller, so nothing on
+// this path touches the heap.
+func (c *Controller) AccessArg(addr int64, write bool, fn func(any), arg any) {
+	c.eng.AtArg(c.schedule(addr, write), fn, arg)
+}
+
+// schedule performs the timing model shared by Access and AccessArg: page
+// hit/miss resolution, bus queueing, and counters. It returns the absolute
+// completion time.
+func (c *Controller) schedule(addr int64, write bool) sim.Time {
 	row := addr / c.params.PageBytes
 	bank := c.bankOf(row)
 
@@ -121,8 +172,7 @@ func (c *Controller) Access(addr int64, write bool, done func(lat sim.Time)) {
 
 	transfer := sim.TransferTime(c.params.LineBytes, c.params.Bandwidth)
 	start := c.bus.Acquire(transfer)
-	doneAt := start + access
-	c.eng.At(doneAt, func() { done(doneAt - issued) })
+	return start + access
 }
 
 // openPage opens row in bank, closing the oldest open page if the

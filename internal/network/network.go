@@ -126,9 +126,14 @@ func (n *Network) serTime(size int) sim.Time {
 // the loopback (inject+eject) delay without touching any link, matching the
 // on-chip path between the cache and the local Zboxes.
 //
-// Send binds the packet's route/arrive/deliver callbacks once; every later
-// hop reschedules those same closures (parameterized by p.cur and p.via),
-// so the steady-state pump/route/arrive cycle never allocates.
+// Send binds the packet's route/arrive/deliver callbacks once per Packet
+// lifetime; every later hop reschedules those same closures (parameterized
+// by p.cur and p.via), so the steady-state pump/route/arrive cycle never
+// allocates. A delivered packet may be re-Sent (the coherence layer pools
+// its packets): the bound callbacks survive reuse, so a recycled packet's
+// whole flight allocates nothing. A reused packet must only ever be sent
+// through the network that first carried it, and never while a previous
+// flight is still in progress.
 func (n *Network) Send(p *Packet) {
 	if p.OnDeliver == nil {
 		panic("network: packet without OnDeliver")
@@ -137,14 +142,20 @@ func (n *Network) Send(p *Packet) {
 		panic("network: packet without size")
 	}
 	p.injectedAt = n.eng.Now()
+	p.Hops = 0
+	p.adaptiveOn = nil
 	n.injected++
-	p.deliverFn = func() { n.deliver(p) }
+	if p.deliverFn == nil {
+		p.deliverFn = func() { n.deliver(p) }
+	}
 	if p.Src == p.Dst {
 		n.eng.After(n.params.InjectLatency+n.params.EjectLatency, p.deliverFn)
 		return
 	}
-	p.routeFn = func() { n.route(p, p.cur) }
-	p.arriveFn = func() { n.arrive(p, p.via) }
+	if p.routeFn == nil {
+		p.routeFn = func() { n.route(p, p.cur) }
+		p.arriveFn = func() { n.arrive(p, p.via) }
+	}
 	// The packet pays one router pipeline per link it will traverse; the
 	// source router's pipeline is charged here, intermediate ones on
 	// arrival.

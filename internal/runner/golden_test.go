@@ -1,0 +1,45 @@
+package runner
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenOutputsAcrossWorkerCounts is the end-to-end determinism and
+// refactoring guard: the quick CSVs of a latency figure (fig12), a
+// load-test sweep (fig15) and a saturation sweep (satur-uniform) must be
+// byte-identical to the committed fixtures — which were generated before
+// the coherence layer's map-to-slot-table rewrite — at both -j 1 and
+// -j 8. A data-structure or scheduling change that alters any simulated
+// outcome, however slightly, shows up here as a diff.
+//
+// To regenerate after an intentional model change:
+//
+//	go build -o gsbench ./cmd/gsbench
+//	./gsbench -run fig12 -quick -csv -j 1 > internal/runner/testdata/fig12.quick.csv
+//
+// (and likewise for the other ids), then explain the change in the PR.
+func TestGoldenOutputsAcrossWorkerCounts(t *testing.T) {
+	ids := []string{"fig12", "fig15", "satur-uniform"}
+	for _, workers := range []int{1, 8} {
+		results, err := Run(context.Background(), ids, Options{Workers: workers, Quick: true})
+		if err != nil {
+			t.Fatalf("j=%d: %v", workers, err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatalf("j=%d %s: %v", workers, r.ID, r.Err)
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", r.ID+".quick.csv"))
+			if err != nil {
+				t.Fatalf("missing fixture: %v", err)
+			}
+			if got := r.Table.CSV(); got != string(want) {
+				t.Errorf("j=%d %s: CSV differs from committed fixture\ngot:\n%s\nwant:\n%s",
+					workers, r.ID, got, want)
+			}
+		}
+	}
+}

@@ -5,14 +5,25 @@ import "fmt"
 // event is a scheduled callback. seq breaks ties between events scheduled
 // for the same instant so execution order equals scheduling order, which
 // keeps the whole simulation deterministic.
+//
+// Every event is an (fn, arg) pair. The plain At/After API stores the
+// caller's func() in arg and a shared nullary adapter in fn; the AtArg
+// variant stores the caller's func(any) directly. Either way the engine
+// itself never allocates: a func value and a pointer placed in an `any`
+// are both single-word, pointer-shaped payloads, so no boxing occurs.
 type event struct {
 	at  Time
 	seq uint64
-	fn  func()
+	fn  func(any)
+	arg any
 }
 
+// callNullary is the shared adapter that dispatches events scheduled with
+// the closure-based At/After API.
+func callNullary(arg any) { arg.(func())() }
+
 // before reports whether ev sorts ahead of other in (time, seq) order.
-func (ev event) before(other event) bool {
+func (ev *event) before(other *event) bool {
 	return ev.at < other.at || (ev.at == other.at && ev.seq < other.seq)
 }
 
@@ -26,7 +37,10 @@ func (ev event) before(other event) bool {
 // one backing slice: scheduling and dispatch never box events into
 // interfaces (the allocation container/heap's interface{} API forces on
 // every Push), so the steady-state hot path — At followed by Step —
-// allocates only when the slice itself grows.
+// allocates only when the slice itself grows. Conversely, the slice is
+// shrunk after large drains (see pop) so a saturation sweep that briefly
+// queues tens of thousands of events does not pin its peak-size array for
+// the rest of the run.
 type Engine struct {
 	events   []event // binary min-heap; events[0] is the next event
 	now      Time
@@ -48,14 +62,18 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // Pending reports how many events are scheduled but not yet executed.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// QueueCap reports the capacity of the event queue's backing array, for
+// memory-bound assertions.
+func (e *Engine) QueueCap() int { return cap(e.events) }
+
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it is always a model bug, and silently clamping would hide it.
+//
+// At does not allocate, but the fn passed to it usually does: a closure
+// capturing local state is a fresh heap object per call. Hot paths should
+// use AtArg with a pre-bound callback and a pooled argument instead.
 func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
-	}
-	e.seq++
-	e.push(event{at: t, seq: e.seq, fn: fn})
+	e.AtArg(t, callNullary, fn)
 }
 
 // After schedules fn to run d after the current time. Negative delays panic.
@@ -63,7 +81,28 @@ func (e *Engine) After(d Time, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	e.At(e.now+d, fn)
+	e.AtArg(e.now+d, callNullary, fn)
+}
+
+// AtArg schedules fn(arg) at absolute time t. It is the zero-allocation
+// scheduling primitive: fn is typically bound once (a stored method value
+// or package function) and arg is a pooled pointer, so steady-state
+// scheduling touches no heap. The coherence, memctrl and cpu hot paths all
+// schedule through it.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	e.push(event{at: t, seq: e.seq, fn: fn, arg: arg})
+}
+
+// AfterArg schedules fn(arg) to run d after the current time.
+func (e *Engine) AfterArg(d Time, fn func(any), arg any) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.AtArg(e.now+d, fn, arg)
 }
 
 // push inserts ev, sifting it up from the tail. The hole technique (slide
@@ -74,7 +113,7 @@ func (e *Engine) push(ev event) {
 	i := len(e.events) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !ev.before(e.events[parent]) {
+		if !ev.before(&e.events[parent]) {
 			break
 		}
 		e.events[i] = e.events[parent]
@@ -84,12 +123,17 @@ func (e *Engine) push(ev event) {
 }
 
 // pop removes and returns the minimum event, sifting the displaced tail
-// element down from the root.
+// element down from the root. When a large drain leaves the live window
+// under a quarter of the backing array, the array is reallocated at half
+// size: without this, one saturation transient would pin its peak-size
+// array (and every stale fn/arg slot in it would have to be zeroed anyway)
+// for the remainder of the simulation. Shrinking halves at most O(log n)
+// times per drain, so the copies amortize to O(1) per event.
 func (e *Engine) pop() event {
 	top := e.events[0]
 	n := len(e.events) - 1
 	last := e.events[n]
-	e.events[n] = event{} // drop the fn reference so the closure can be collected
+	e.events[n] = event{} // drop the fn/arg references so closures can be collected
 	e.events = e.events[:n]
 	if n > 0 {
 		i := 0
@@ -98,10 +142,10 @@ func (e *Engine) pop() event {
 			if child >= n {
 				break
 			}
-			if r := child + 1; r < n && e.events[r].before(e.events[child]) {
+			if r := child + 1; r < n && e.events[r].before(&e.events[child]) {
 				child = r
 			}
-			if !e.events[child].before(last) {
+			if !e.events[child].before(&last) {
 				break
 			}
 			e.events[i] = e.events[child]
@@ -109,8 +153,18 @@ func (e *Engine) pop() event {
 		}
 		e.events[i] = last
 	}
+	if cap(e.events) >= minShrinkCap && n < cap(e.events)/4 {
+		shrunk := make([]event, n, cap(e.events)/2)
+		copy(shrunk, e.events)
+		e.events = shrunk
+	}
 	return top
 }
+
+// minShrinkCap is the backing-array size below which pop never shrinks;
+// small queues oscillate in length constantly and reallocating them would
+// cost more than the memory they hold.
+const minShrinkCap = 1024
 
 // Step executes the single next event. It reports false when no events
 // remain or Stop has been called.
@@ -121,7 +175,7 @@ func (e *Engine) Step() bool {
 	ev := e.pop()
 	e.now = ev.at
 	e.executed++
-	ev.fn()
+	ev.fn(ev.arg)
 	return true
 }
 

@@ -14,7 +14,15 @@ import (
 //
 // and compare the Typed vs Boxed rows — the typed heap runs with zero
 // allocs/op in steady state.
-type boxedHeap []event
+// boxedEvent is the pre-optimization event layout (closure only, no
+// pre-bound arg), kept alongside the boxed heap for a faithful baseline.
+type boxedEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type boxedHeap []boxedEvent
 
 func (h boxedHeap) Len() int { return len(h) }
 func (h boxedHeap) Less(i, j int) bool {
@@ -24,12 +32,12 @@ func (h boxedHeap) Less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 func (h boxedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *boxedHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *boxedHeap) Push(x interface{}) { *h = append(*h, x.(boxedEvent)) }
 func (h *boxedHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
 	ev := old[n-1]
-	old[n-1] = event{}
+	old[n-1] = boxedEvent{}
 	*h = old[:n-1]
 	return ev
 }
@@ -44,14 +52,14 @@ type boxedEngine struct {
 
 func (e *boxedEngine) at(t Time, fn func()) {
 	e.seq++
-	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+	heap.Push(&e.heap, boxedEvent{at: t, seq: e.seq, fn: fn})
 }
 
 func (e *boxedEngine) step() bool {
 	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.heap).(event)
+	ev := heap.Pop(&e.heap).(boxedEvent)
 	e.now = ev.at
 	ev.fn()
 	return true

@@ -318,6 +318,115 @@ func TestRNGDistributionRoughlyUniform(t *testing.T) {
 	}
 }
 
+func TestEngineAtArgInterleavesWithAt(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	record := func(a any) { order = append(order, *a.(*int)) }
+	one, three := 1, 3
+	e.AtArg(5, record, &one)
+	e.At(5, func() { order = append(order, 2) })
+	e.AtArg(5, record, &three)
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("AtArg/At tie-break violated: %v", order)
+	}
+}
+
+func TestEngineAtArgPassesArg(t *testing.T) {
+	e := NewEngine()
+	type payload struct{ v int }
+	p := &payload{v: 41}
+	e.AfterArg(10, func(a any) { a.(*payload).v++ }, p)
+	e.Run()
+	if p.v != 42 {
+		t.Fatalf("arg not delivered: %d", p.v)
+	}
+}
+
+func TestEngineAtArgPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("AtArg in the past did not panic")
+			}
+		}()
+		e.AtArg(5, func(any) {}, nil)
+	})
+	e.Run()
+}
+
+// TestEngineAtArgZeroAlloc pins the zero-allocation scheduling primitive:
+// a pre-bound func(any) plus a pooled pointer arg must schedule and
+// dispatch without touching the heap once the backing array is warm.
+func TestEngineAtArgZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	type txn struct{ n int }
+	arg := &txn{}
+	fn := func(a any) { a.(*txn).n++ }
+	// Warm the heap's backing array.
+	for i := 0; i < 64; i++ {
+		e.AtArg(e.now+Time(i+1), fn, arg)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.AtArg(e.now+1, fn, arg)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("AtArg+Step allocates %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// TestEngineQueueShrinksAfterDrain guards the heap-capacity fix: a
+// saturation transient that queues tens of thousands of events must not
+// pin its peak-size backing array once the queue has drained back to a
+// small standing population (mirrors internal/network's ring-buffer
+// memory-bound test).
+func TestEngineQueueShrinksAfterDrain(t *testing.T) {
+	e := NewEngine()
+	fn := func(any) {}
+	const peak = 100000
+	for i := 0; i < peak; i++ {
+		e.AtArg(Time(i+1), fn, nil)
+	}
+	peakCap := e.QueueCap()
+	if peakCap < peak {
+		t.Fatalf("queue cap %d below peak %d", peakCap, peak)
+	}
+	// Drain to a standing population of a few events, as after a sweep.
+	for e.Pending() > 8 {
+		e.Step()
+	}
+	if got := e.QueueCap(); got > peakCap/16 {
+		t.Fatalf("queue cap %d after drain (peak %d); backing array not shrunk", got, peakCap)
+	}
+	// The queue still works after shrinking.
+	e.AtArg(e.now+1, fn, nil)
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after run", e.Pending())
+	}
+}
+
+// TestEngineSmallQueueNeverShrinks pins the minShrinkCap guard: routine
+// push/pop oscillation on a small queue must not thrash reallocations.
+func TestEngineSmallQueueNeverShrinks(t *testing.T) {
+	e := NewEngine()
+	fn := func(any) {}
+	for i := 0; i < 64; i++ {
+		e.AtArg(Time(i+1), fn, nil)
+	}
+	capBefore := e.QueueCap()
+	if capBefore >= minShrinkCap {
+		t.Skipf("warm cap %d unexpectedly at shrink threshold", capBefore)
+	}
+	e.Run()
+	if got := e.QueueCap(); got != capBefore {
+		t.Fatalf("small queue cap changed %d -> %d; should be stable", capBefore, got)
+	}
+}
+
 func BenchmarkEngineScheduleRun(b *testing.B) {
 	e := NewEngine()
 	for i := 0; i < b.N; i++ {

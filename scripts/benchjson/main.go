@@ -1,0 +1,95 @@
+// Command benchjson converts `go test -bench -benchmem` output (stdin)
+// into a benchmark-trajectory JSON file. scripts/bench.sh drives it; the
+// emitted BENCH_pr<N>.json files let successive PRs append measured
+// points (ns/op, allocs/op, experiments-suite wall-clock) so performance
+// history is tracked in-repo rather than remembered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// Point is one benchmark's measurement.
+type Point struct {
+	Iters      int64   `json:"iters"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op"`
+	AllocsOp   float64 `json:"allocs_per_op"`
+}
+
+// Trajectory is the emitted file shape.
+type Trajectory struct {
+	PR           int              `json:"pr"`
+	Benchmarks   map[string]Point `json:"benchmarks"`
+	SuiteSeconds float64          `json:"experiments_suite_seconds"`
+	// Baseline carries the comparison numbers (typically the previous
+	// main) verbatim from the file passed via -baseline.
+	Baseline json.RawMessage `json:"baseline,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkReadMissLocal-8   100000   413.0 ns/op   32 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	pr := flag.Int("pr", 0, "PR number stamped into the trajectory")
+	suite := flag.Float64("suite-seconds", 0, "wall-clock of the experiments test suite")
+	baseline := flag.String("baseline", "", "optional JSON file embedded as the baseline section")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	traj := Trajectory{PR: *pr, Benchmarks: map[string]Point{}, SuiteSeconds: *suite}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		p := Point{}
+		p.Iters, _ = strconv.ParseInt(m[2], 10, 64)
+		p.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			p.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+			p.AllocsOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		traj.Benchmarks[m[1]] = p
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		if !json.Valid(raw) {
+			fatal(fmt.Errorf("baseline %s is not valid JSON", *baseline))
+		}
+		traj.Baseline = raw
+	}
+	enc, err := json.MarshalIndent(&traj, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
