@@ -5,6 +5,7 @@
 //	gsbench -list
 //	gsbench -run fig13
 //	gsbench -run all [-quick] [-j 8] [-csv | -json] [-progress]
+//	gsbench -run all [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Experiments (and the sweep points inside them) are independent
 // simulations, so -run all fans them across -j worker goroutines (default:
@@ -23,6 +24,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -52,6 +54,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a JSON array of tables with timings")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
 	progress := flag.Bool("progress", false, "report each finished simulation unit on stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file` (pprof format)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to `file` (pprof format)")
 	flag.Parse()
 
 	if *list {
@@ -69,6 +73,41 @@ func main() {
 	ids := []string{*run}
 	if *run == "all" {
 		ids = experiments.IDs()
+	}
+
+	// Profiling hooks so perf work can attach pprof evidence to a real
+	// suite run without patching the binary:
+	//
+	//	gsbench -run all -quick -cpuprofile cpu.pprof -memprofile mem.pprof
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gsbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gsbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	// main exits through os.Exit, so profiles are flushed explicitly at
+	// every exit path below rather than via defer.
+	stopProfiles := func() {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gsbench: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "gsbench: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -147,5 +186,6 @@ func main() {
 		}
 		exit = 1
 	}
+	stopProfiles()
 	os.Exit(exit)
 }

@@ -118,27 +118,40 @@ func (sp *dirSpill) find(slot int64) *dirEntry {
 }
 
 func (sp *dirSpill) get(slot int64) *dirEntry {
-	if len(sp.keys) == 0 || sp.n >= len(sp.keys)*3/4 {
+	if len(sp.keys) == 0 {
 		sp.grow()
 	}
-	mask := uint64(len(sp.keys) - 1)
-	h := (uint64(slot) * 0x9E3779B97F4A7C15) >> 32 & mask
 	for {
-		k := sp.keys[h]
-		if k == slot+1 {
-			return sp.entryAt(sp.idx[h])
-		}
-		if k == 0 {
-			if sp.n&(spillSlabSize-1) == 0 && sp.n>>8 == len(sp.slabs) {
-				sp.slabs = append(sp.slabs, new([spillSlabSize]dirEntry))
+		mask := uint64(len(sp.keys) - 1)
+		h := (uint64(slot) * 0x9E3779B97F4A7C15) >> 32 & mask
+		for {
+			k := sp.keys[h]
+			if k == slot+1 {
+				return sp.entryAt(sp.idx[h])
 			}
-			i := int32(sp.n)
-			sp.n++
-			sp.keys[h] = slot + 1
-			sp.idx[h] = i
-			return sp.entryAt(i)
+			if k == 0 {
+				break
+			}
+			h = (h + 1) & mask
 		}
-		h = (h + 1) & mask
+		// Not present: grow only now, on an actual insert. Growing on the
+		// way in — as this function originally did — meant a table whose
+		// population sat exactly at the load-factor threshold paid a full
+		// rehash on its next lookup of an existing key, a multi-megabyte
+		// allocation spike in the middle of a steady-state measurement
+		// window (the read-miss benchmarks' stray bytes/op).
+		if sp.n >= len(sp.keys)*3/4 {
+			sp.grow()
+			continue // re-probe in the grown table
+		}
+		if sp.n&(spillSlabSize-1) == 0 && sp.n>>8 == len(sp.slabs) {
+			sp.slabs = append(sp.slabs, new([spillSlabSize]dirEntry))
+		}
+		i := int32(sp.n)
+		sp.n++
+		sp.keys[h] = slot + 1
+		sp.idx[h] = i
+		return sp.entryAt(i)
 	}
 }
 

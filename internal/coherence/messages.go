@@ -79,7 +79,14 @@ type msg struct {
 	nd       *node
 	e        *dirEntry
 	done     func(sim.Time)
-	pkt      network.Packet
+	// t is the record's own delivery timer: every local hand-off — a
+	// completion, a retry backoff, an owner-latency forward, a Zbox
+	// access completing — arms this one embedded wheel node, so the
+	// protocol's event traffic bypasses the engine's node pool entirely.
+	// A record has at most one pending delivery at a time; the network
+	// flight path uses the embedded packet's own phase timers.
+	t   sim.Timer
+	pkt network.Packet
 }
 
 // getMsg borrows a record from the system pool.
@@ -90,6 +97,7 @@ func (s *System) getMsg() *msg {
 		return m
 	}
 	m := &msg{s: s}
+	m.t.InitFunc(s.eng, deliverLocal, m)
 	m.pkt.OnDeliver = func() { s.deliverMsg(m) }
 	return m
 }
@@ -103,15 +111,14 @@ func (s *System) putMsg(m *msg) {
 	s.freeMsgs = append(s.freeMsgs, m)
 }
 
-// deliverLocal adapts the pool to sim.Engine.AtArg and
-// memctrl.Controller.AccessArg: both dispatch pre-bound func(any)
-// callbacks, and this is the only one the protocol needs.
+// deliverLocal is the pre-bound callback behind every msg's embedded
+// timer; it is the only local-dispatch shape the protocol needs.
 func deliverLocal(a any) { a.(*msg).s.deliverMsg(a.(*msg)) }
 
 // post sends m from src to dst, over the network unless src == dst.
 func (s *System) post(src, dst topology.NodeID, class network.Class, size int, m *msg) {
 	if src == dst {
-		s.eng.AfterArg(0, deliverLocal, m)
+		m.t.Schedule(0)
 		return
 	}
 	p := &m.pkt
@@ -167,7 +174,7 @@ func (s *System) deliverMsg(m *msg) {
 		m.kind = mkZboxShareWB
 		m.ctl = ctl
 		m.e = e
-		home.z[ctl].AccessArg(line, true, deliverLocal, m)
+		m.t.ScheduleAt(home.z[ctl].AccessAt(line, true))
 
 	case mkZboxShareWB:
 		home, line, ctl, e := m.nd, m.line, m.ctl, m.e
@@ -190,7 +197,7 @@ func (s *System) deliverMsg(m *msg) {
 			return
 		}
 		m.kind = mkServeFwd
-		s.eng.AfterArg(s.params.OwnerLatency, deliverLocal, m)
+		m.t.Schedule(s.params.OwnerLatency)
 
 	case mkServeFwd:
 		o, line, requester, mod := m.nd, m.line, m.to, m.mod
@@ -225,7 +232,7 @@ func (s *System) deliverMsg(m *msg) {
 	case mkRetry:
 		m.nd.stats.Retries++
 		m.kind = mkRetrySend
-		s.eng.AfterArg(s.params.RetryBackoff, deliverLocal, m)
+		m.t.Schedule(s.params.RetryBackoff)
 
 	case mkRetrySend:
 		nd, line, write := m.nd, m.line, m.mod
@@ -279,7 +286,7 @@ func (s *System) ownerForward(o *node, line int64, requester topology.NodeID, mo
 	m.line = line
 	m.to = requester
 	m.mod = mod
-	s.eng.AfterArg(s.params.OwnerLatency, deliverLocal, m)
+	m.t.Schedule(s.params.OwnerLatency)
 }
 
 func (s *System) serveForward(o *node, line int64, requester topology.NodeID, mod bool) {
@@ -491,7 +498,7 @@ func (s *System) completeFill(nd *node, entry *mafEntry) {
 		m.nd = nd
 		m.line = line
 		m.mod = true
-		s.eng.AfterArg(s.params.CoreOverhead, deliverLocal, m)
+		m.t.Schedule(s.params.CoreOverhead)
 	} else {
 		deferred = append(deferred, entry.deferredFwd...)
 		entry.release()
@@ -513,7 +520,7 @@ func (s *System) completeFill(nd *node, entry *mafEntry) {
 		m.line = line
 		m.to = f.requester
 		m.mod = f.mod
-		s.eng.AfterArg(0, deliverLocal, m)
+		m.t.Schedule(0)
 	}
 	nd.scratchFwd = deferred[:0]
 
@@ -566,7 +573,7 @@ func (s *System) victimAckArrived(nd *node, line int64) {
 		m.mod = op.write
 		m.start = op.start
 		m.done = op.done
-		s.eng.AfterArg(0, deliverLocal, m)
+		m.t.Schedule(0)
 		vs.waiters[i] = stalledOp{}
 	}
 	vs.waiters = vs.waiters[:0]

@@ -425,7 +425,7 @@ func (s *System) complete(nd *node, start, lat sim.Time, done func(sim.Time)) {
 	m.kind = mkComplete
 	m.done = done
 	m.lat = end - start
-	s.eng.AtArg(end, deliverLocal, m)
+	m.t.ScheduleAt(end)
 }
 
 // startMiss allocates (or joins) a MAF entry for line and issues the
@@ -452,7 +452,7 @@ func (s *System) startMiss(nd *node, line int64, write bool, start sim.Time, don
 	m.nd = nd
 	m.line = line
 	m.mod = write
-	s.eng.AfterArg(s.params.CoreOverhead, deliverLocal, m)
+	m.t.Schedule(s.params.CoreOverhead)
 }
 
 // sendRequest transmits the Read/ReadMod request to the line's home.
@@ -524,7 +524,7 @@ func (s *System) dispatch(home *node, line int64, ctl int, e *dirEntry, hm homeM
 	m.e = e
 	m.from = hm.from
 	m.hkind = hm.kind
-	home.z[ctl].AccessArg(line, false, deliverLocal, m)
+	m.t.ScheduleAt(home.z[ctl].AccessAt(line, false))
 }
 
 func (s *System) processRequest(home *node, line int64, ctl int, e *dirEntry, from topology.NodeID, kind homeMsgKind) {
@@ -596,7 +596,7 @@ func (s *System) processVictim(home *node, line int64, ctl int, e *dirEntry, hm 
 		m.e = e
 		m.from = hm.from
 		m.value = hm.value
-		home.z[ctl].AccessArg(line, true, deliverLocal, m)
+		m.t.ScheduleAt(home.z[ctl].AccessAt(line, true))
 		return
 	}
 	s.sendVictimAck(home, line, hm.from)

@@ -83,10 +83,11 @@ type CPU struct {
 	// at mlp live records, and each carries its Port callback bound once,
 	// so the steady-state issue/complete cycle allocates nothing.
 	freeDone []*opDone
-	// stepFn/computeFn are step and the compute-gap resume bound once;
-	// scheduling a fresh method value per event would allocate.
-	stepFn    func()
-	computeFn func()
+	// stepT enters the issue loop from the event queue at Run; computeT is
+	// the compute-gap timer. Each is one wheel node rearmed for the CPU's
+	// lifetime — at most one of each is pending at a time by construction.
+	stepT    sim.Timer
+	computeT sim.Timer
 
 	stats Stats
 }
@@ -127,11 +128,8 @@ func New(eng *sim.Engine, id, mlp int, port Port) *CPU {
 		panic("cpu: nil port")
 	}
 	c := &CPU{eng: eng, id: id, mlp: mlp, port: port}
-	c.stepFn = c.step
-	c.computeFn = func() {
-		c.computing = false
-		c.step()
-	}
+	c.stepT.Init(eng, c.step)
+	c.computeT.Init(eng, c.computeDone)
 	return c
 }
 
@@ -181,7 +179,13 @@ func (c *CPU) Run(s Stream, onDone func()) {
 	c.stats.StartedAt = c.eng.Now()
 	// Enter the issue loop from the event queue so Run composes with
 	// other same-instant setup.
-	c.eng.After(0, c.stepFn)
+	c.stepT.Schedule(0)
+}
+
+// computeDone ends a compute gap and resumes issue.
+func (c *CPU) computeDone() {
+	c.computing = false
+	c.step()
 }
 
 // step issues as many operations as dependences, compute, and the MLP
@@ -209,7 +213,7 @@ func (c *CPU) step() {
 			compute := c.pending.Compute
 			c.pending.Compute = 0
 			c.computing = true
-			c.eng.After(compute, c.computeFn)
+			c.computeT.Schedule(compute)
 			return
 		}
 		c.issue()

@@ -225,26 +225,30 @@ func Fig23GUPS(counts []int, warm, measure sim.Time) *Table {
 	}
 	parts := make([]Part, len(counts))
 	for i, n := range counts {
-		parts[i] = fig23Row(n, warm, measure)
+		parts[i] = fig23Row(nil, n, warm, measure)
 	}
 	return fig23Assemble(parts)
 }
 
 // fig23Row measures GUPS at one machine size on all three machines — one
-// row of Fig 23, independently runnable.
-func fig23Row(n int, warm, measure sim.Time) Part {
+// row of Fig 23, independently runnable on env's reusable engines.
+func fig23Row(env *Env, n int, warm, measure sim.Time) Part {
 	w, h := machine.StandardShape(n)
-	gs := machine.NewGS1280(machine.GS1280Config{W: w, H: h, RegionBytes: 16 << 20})
+	gs := machine.NewGS1280(machine.GS1280Config{W: w, H: h, RegionBytes: 16 << 20, Eng: env.Engine()})
 	gsRate := gupsRate(gs, n, warm, measure)
 
 	old := "-"
 	if n <= 32 {
-		gm := machine.NewSMP(machine.GS320Config(n))
+		cfg := machine.GS320Config(n)
+		cfg.Eng = env.Engine()
+		gm := machine.NewSMP(cfg)
 		old = f1(gupsRate(gm, n, warm, measure))
 	}
 	es := "-"
 	if n <= 4 {
-		em := machine.NewSMP(machine.ES45Config())
+		cfg := machine.ES45Config()
+		cfg.Eng = env.Engine()
+		em := machine.NewSMP(cfg)
 		es = f1(gupsRate(em, n, warm, measure))
 	}
 	return Part{Rows: [][]string{{fmt.Sprintf("%d", n), f1(gsRate), old, es}}}
@@ -275,7 +279,7 @@ func fig23Spec() Spec {
 			counts, warm, measure := plan(q)
 			return sweepUnits(counts,
 				func(n int) string { return fmt.Sprintf("fig23[%dP]", n) },
-				func(n int) Part { return fig23Row(n, warm, measure) })
+				func(env *Env, n int) Part { return fig23Row(env, n, warm, measure) })
 		},
 		Assemble: func(_ bool, parts []Part) *Table { return fig23Assemble(parts) },
 	}

@@ -99,23 +99,25 @@ func Fig14AvgLatency(counts []int) *Table {
 	}
 	parts := make([]Part, len(counts))
 	for i, n := range counts {
-		parts[i] = fig14Row(n)
+		parts[i] = fig14Row(nil, n)
 	}
 	return fig14Assemble(parts)
 }
 
 // fig14Row measures one machine size — one row of Fig 14, independently
-// runnable.
-func fig14Row(n int) Part {
+// runnable on env's reusable engines.
+func fig14Row(env *Env, n int) Part {
 	w, h := machine.StandardShape(n)
-	gs := machine.NewGS1280(machine.GS1280Config{W: w, H: h})
+	gs := machine.NewGS1280(machine.GS1280Config{W: w, H: h, Eng: env.Engine()})
 	var sum float64
 	for i := 0; i < n; i++ {
 		sum += ReadLatency(gs, 0, i).Nanoseconds()
 	}
 	old := "-"
 	if n <= 32 {
-		gm := machine.NewSMP(machine.GS320Config(n))
+		cfg := machine.GS320Config(n)
+		cfg.Eng = env.Engine()
+		gm := machine.NewSMP(cfg)
 		var osum float64
 		for i := 0; i < n; i++ {
 			osum += ReadLatency(gm, 0, i).Nanoseconds()
@@ -216,10 +218,11 @@ func makeLoadStreams(m machine.Machine, k int) []cpu.Stream {
 // Fig15Outstanding is the default sweep (the paper runs 1..30).
 var Fig15Outstanding = []int{1, 2, 4, 8, 12, 16, 24, 30}
 
-// fig15Config is one curve of the Fig 15 load test.
+// fig15Config is one curve of the Fig 15 load test. mk builds the curve's
+// machine on env's reusable engines (env may be nil for fresh ones).
 type fig15Config struct {
 	name string
-	mk   func() machine.Machine
+	mk   func(env *Env) machine.Machine
 }
 
 // fig15Configs lists the five curves: 16/32/64-CPU GS1280 (with
@@ -230,14 +233,16 @@ func fig15Configs() []fig15Config {
 	for _, n := range []int{16, 32, 64} {
 		n := n
 		w, h := machine.StandardShape(n)
-		cfgs = append(cfgs, fig15Config{fmt.Sprintf("GS1280/%dP", n), func() machine.Machine {
-			return machine.NewGS1280(machine.GS1280Config{W: w, H: h, NAKThreshold: 8})
+		cfgs = append(cfgs, fig15Config{fmt.Sprintf("GS1280/%dP", n), func(env *Env) machine.Machine {
+			return machine.NewGS1280(machine.GS1280Config{W: w, H: h, NAKThreshold: 8, Eng: env.Engine()})
 		}})
 	}
 	for _, n := range []int{16, 32} {
 		n := n
-		cfgs = append(cfgs, fig15Config{fmt.Sprintf("GS320/%dP", n), func() machine.Machine {
-			return machine.NewSMP(machine.GS320Config(n))
+		cfgs = append(cfgs, fig15Config{fmt.Sprintf("GS320/%dP", n), func(env *Env) machine.Machine {
+			cfg := machine.GS320Config(n)
+			cfg.Eng = env.Engine()
+			return machine.NewSMP(cfg)
 		}})
 	}
 	return cfgs
@@ -247,9 +252,9 @@ func fig15Configs() []fig15Config {
 // one row of Fig 15, independently runnable. A saturated sample that
 // completed no operations yields an empty part, matching loadTest's
 // skip-empty behaviour.
-func fig15Point(c fig15Config, k int, warm, measure sim.Time) Part {
+func fig15Point(env *Env, c fig15Config, k int, warm, measure sim.Time) Part {
 	var rows [][]string
-	for _, p := range loadTest(c.mk, []int{k}, warm, measure) {
+	for _, p := range loadTest(func() machine.Machine { return c.mk(env) }, []int{k}, warm, measure) {
 		bw, lat := loadCells(p)
 		rows = append(rows, []string{c.name, fmt.Sprintf("%d", p.Outstanding), bw, lat})
 	}
@@ -281,7 +286,7 @@ func Fig15LoadTest(outstanding []int, warm, measure sim.Time) *Table {
 	var parts []Part
 	for _, c := range fig15Configs() {
 		for _, k := range outstanding {
-			parts = append(parts, fig15Point(c, k, warm, measure))
+			parts = append(parts, fig15Point(nil, c, k, warm, measure))
 		}
 	}
 	return fig15Assemble(parts)
@@ -312,7 +317,7 @@ func fig15Spec() Spec {
 			}
 			return sweepUnits(points,
 				func(p point) string { return fmt.Sprintf("fig15[%s,k=%d]", p.c.name, p.k) },
-				func(p point) Part { return fig15Point(p.c, p.k, warm, measure) })
+				func(env *Env, p point) Part { return fig15Point(env, p.c, p.k, warm, measure) })
 		},
 		Assemble: func(_ bool, parts []Part) *Table { return fig15Assemble(parts) },
 	}

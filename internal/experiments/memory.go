@@ -27,18 +27,23 @@ func Fig04DependentLoad(sizes []int64) *Table {
 	}
 	parts := make([]Part, len(sizes))
 	for i, size := range sizes {
-		parts[i] = fig04Row(size)
+		parts[i] = fig04Row(nil, size)
 	}
 	return fig04Assemble(parts)
 }
 
 // fig04Row measures one dataset size on the three machines — one row of
-// Fig 4, independently runnable: each call builds fresh machines.
-func fig04Row(size int64) Part {
+// Fig 4, independently runnable: each call builds fresh machines on env's
+// reusable engines.
+func fig04Row(env *Env, size int64) Part {
 	const measureOps = 60000
-	gs := machine.NewGS1280(machine.GS1280Config{W: 2, H: 1})
-	es := machine.NewSMP(machine.ES45Config())
-	old := machine.NewSMP(machine.GS320Config(4))
+	gs := machine.NewGS1280(machine.GS1280Config{W: 2, H: 1, Eng: env.Engine()})
+	esCfg := machine.ES45Config()
+	esCfg.Eng = env.Engine()
+	es := machine.NewSMP(esCfg)
+	oldCfg := machine.GS320Config(4)
+	oldCfg.Eng = env.Engine()
+	old := machine.NewSMP(oldCfg)
 	return Part{Rows: [][]string{{byteSize(size),
 		fns(chaseLatency(gs, size, 64, measureOps)),
 		fns(chaseLatency(es, size, 64, measureOps)),

@@ -19,6 +19,49 @@ var quickSizes = []int64{16 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 32 << 
 // density for runtime without changing the experiment's structure.
 type Runner func(quick bool) *Table
 
+// Env is the per-worker reusable state threaded through Unit.Run: a pool
+// of simulation engines handed out in call order and Reset between uses,
+// so a worker chewing through a fig-sweep stops re-growing wheel buckets,
+// node pools and far-heap storage for every sweep point. A reset engine
+// behaves bit-identically to a fresh one (see sim.Engine.Reset), so
+// results do not depend on which worker ran a unit or what it ran before —
+// the property TestGoldenOutputsAcrossWorkerCounts pins.
+//
+// A nil *Env is valid and simply hands out fresh engines; the exported
+// serial entry points (Fig04DependentLoad, Fig15LoadTest, ...) use that.
+type Env struct {
+	engines []*sim.Engine
+	next    int
+}
+
+// NewEnv returns an empty environment. internal/runner creates one per
+// worker goroutine; Spec.Runner creates one per serial run.
+func NewEnv() *Env { return &Env{} }
+
+// BeginUnit rewinds the engine cursor; callers invoke it before each
+// Unit.Run so every unit sees the same engine sequence.
+func (v *Env) BeginUnit() {
+	if v != nil {
+		v.next = 0
+	}
+}
+
+// Engine returns the next engine of the unit's sequence, reset to pristine
+// state. Units call it once per concurrently-live machine or network they
+// build (calls during one unit return distinct engines).
+func (v *Env) Engine() *sim.Engine {
+	if v == nil {
+		return sim.NewEngine()
+	}
+	if v.next == len(v.engines) {
+		v.engines = append(v.engines, sim.NewEngine())
+	}
+	e := v.engines[v.next]
+	v.next++
+	e.Reset()
+	return e
+}
+
 // Part is one unit's contribution to an experiment's table: either a
 // consecutive run of rows (plus any notes the unit derived from its own
 // measurements), or — for experiments that run as a single unit — the
@@ -39,8 +82,10 @@ type Unit struct {
 	// Name identifies the unit in progress output, e.g. "fig4[32m]".
 	Name string
 	// Run executes the unit's simulations and returns its part of the
-	// table. It must be self-contained and deterministic.
-	Run func() Part
+	// table. It must be deterministic and share no state with sibling
+	// units; env supplies reusable per-worker engines (nil is valid and
+	// means "build fresh ones").
+	Run func(env *Env) Part
 }
 
 // Spec declares one experiment in parallelizable form: how a run splits
@@ -61,19 +106,22 @@ func (s Spec) Runner() Runner {
 	return func(quick bool) *Table {
 		units := s.Units(quick)
 		parts := make([]Part, len(units))
+		env := NewEnv()
 		for i, u := range units {
-			parts[i] = u.Run()
+			env.BeginUnit()
+			parts[i] = u.Run(env)
 		}
 		return s.Assemble(quick, parts)
 	}
 }
 
-// whole wraps a monolithic experiment as a single-unit Spec.
+// whole wraps a monolithic experiment as a single-unit Spec. Monolithic
+// runners build their own machines internally, so they ignore env.
 func whole(id string, run Runner) Spec {
 	return Spec{
 		ID: id,
 		Units: func(q bool) []Unit {
-			return []Unit{{Name: id, Run: func() Part { return Part{Table: run(q)} }}}
+			return []Unit{{Name: id, Run: func(*Env) Part { return Part{Table: run(q)} }}}
 		},
 		Assemble: func(_ bool, parts []Part) *Table { return parts[0].Table },
 	}
@@ -81,12 +129,12 @@ func whole(id string, run Runner) Spec {
 
 // sweepUnits builds one Unit per sweep point: name labels the point for
 // progress output, run measures it. The shared shape of every sweep-style
-// Spec (fig4, fig14, fig15, fig23).
-func sweepUnits[T any](points []T, name func(T) string, run func(T) Part) []Unit {
+// Spec (fig4, fig14, fig15, fig23, the saturation sweeps).
+func sweepUnits[T any](points []T, name func(T) string, run func(*Env, T) Part) []Unit {
 	units := make([]Unit, len(points))
 	for i, p := range points {
 		p := p
-		units[i] = Unit{Name: name(p), Run: func() Part { return run(p) }}
+		units[i] = Unit{Name: name(p), Run: func(env *Env) Part { return run(env, p) }}
 	}
 	return units
 }

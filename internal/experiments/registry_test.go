@@ -105,7 +105,7 @@ func TestSweepSpecsExposeUnits(t *testing.T) {
 	if len(units) != 1 {
 		t.Fatalf("fig13: want single unit, got %d", len(units))
 	}
-	part := units[0].Run()
+	part := units[0].Run(nil)
 	if part.Table == nil || part.Table.ID != "fig13" {
 		t.Fatalf("single-unit part did not carry the whole table: %+v", part)
 	}

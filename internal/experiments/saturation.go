@@ -51,10 +51,10 @@ func saturPattern(id string) traffic.Pattern {
 	panic("experiments: no saturation pattern for id " + id)
 }
 
-// saturRun executes one offered-load point on a fresh engine and network.
-func saturRun(topo *topology.Topology, policy topology.RoutePolicy, disableAdaptive bool,
+// saturRun executes one offered-load point on the given engine (fresh or
+// Reset) with a fresh network.
+func saturRun(eng *sim.Engine, topo *topology.Topology, policy topology.RoutePolicy, disableAdaptive bool,
 	pattern traffic.Pattern, ratePerUs float64, warm, measure sim.Time, seed uint64) traffic.Result {
-	eng := sim.NewEngine()
 	params := network.DefaultParams()
 	params.Policy = policy
 	params.DisableAdaptive = disableAdaptive
@@ -72,9 +72,9 @@ func saturRun(topo *topology.Topology, policy topology.RoutePolicy, disableAdapt
 
 // saturPoint measures one (routing, rate) sample of a satur-* sweep on the
 // 64-CPU (8x8) torus — one row, independently runnable.
-func saturPoint(id string, v saturVariant, ratePerUs float64, seed uint64, warm, measure sim.Time) Part {
+func saturPoint(env *Env, id string, v saturVariant, ratePerUs float64, seed uint64, warm, measure sim.Time) Part {
 	topo := topology.NewTorus(8, 8)
-	res := saturRun(topo, topology.RouteAdaptive, v.disableAdaptive,
+	res := saturRun(env.Engine(), topo, topology.RouteAdaptive, v.disableAdaptive,
 		saturPattern(id), ratePerUs, warm, measure, seed)
 	return Part{Rows: [][]string{{
 		v.name,
@@ -126,8 +126,8 @@ func saturSpec(id string) Spec {
 			}
 			return sweepUnits(points,
 				func(p point) string { return fmt.Sprintf("%s[%s,r=%g]", id, p.v.name, p.ratePerUs) },
-				func(p point) Part {
-					return saturPoint(id, p.v, p.ratePerUs,
+				func(env *Env, p point) Part {
+					return saturPoint(env, id, p.v, p.ratePerUs,
 						uint64(p.vi*104729+p.ri*7919+1), warm, measure)
 				})
 		},
@@ -158,15 +158,15 @@ var fig1617Loads = []float64{10, 30}
 // the standard torus with adaptive routing, the same torus restricted to
 // the deterministic escape path, and the §4.1 shuffle re-cabling with the
 // 2-hop chord policy.
-func fig1617Point(pi, li int, warm, measure sim.Time) Part {
+func fig1617Point(env *Env, pi, li int, warm, measure sim.Time) Part {
 	pat := fig1617Patterns[pi]
 	load := fig1617Loads[li]
 	seed := uint64(pi*7919 + li*104729 + 1)
 	torus := topology.NewTorus(4, 4)
 	shuffle := topology.NewShuffle(4, 4)
-	adaptive := saturRun(torus, topology.RouteAdaptive, false, pat.mk(), load, warm, measure, seed)
-	escape := saturRun(torus, topology.RouteAdaptive, true, pat.mk(), load, warm, measure, seed)
-	chords := saturRun(shuffle, topology.RouteShuffle2Hop, false, pat.mk(), load, warm, measure, seed)
+	adaptive := saturRun(env.Engine(), torus, topology.RouteAdaptive, false, pat.mk(), load, warm, measure, seed)
+	escape := saturRun(env.Engine(), torus, topology.RouteAdaptive, true, pat.mk(), load, warm, measure, seed)
+	chords := saturRun(env.Engine(), shuffle, topology.RouteShuffle2Hop, false, pat.mk(), load, warm, measure, seed)
 	return Part{Rows: [][]string{{
 		pat.name,
 		fmt.Sprintf("%g", load),
@@ -219,7 +219,7 @@ func fig1617Spec() Spec {
 				func(c cellID) string {
 					return fmt.Sprintf("fig16x17[%s,r=%g]", fig1617Patterns[c.pi].name, fig1617Loads[c.li])
 				},
-				func(c cellID) Part { return fig1617Point(c.pi, c.li, warm, measure) })
+				func(env *Env, c cellID) Part { return fig1617Point(env, c.pi, c.li, warm, measure) })
 		},
 		Assemble: func(_ bool, parts []Part) *Table { return fig1617Assemble(parts) },
 	}

@@ -52,6 +52,13 @@ type GS1280Config struct {
 	NetOverride  func(*network.Params)
 	CohOverride  func(*coherence.Params)
 	ZboxOverride func(*memctrl.Params)
+
+	// Eng, when non-nil, is the engine to build on instead of a fresh
+	// one. The caller must hand over a pristine engine (fresh or Reset);
+	// internal/experiments reuses one set per worker this way, so a
+	// fig-sweep worker stops re-growing wheel buckets and node pools for
+	// every sweep point.
+	Eng *sim.Engine
 }
 
 // GS1280 is an assembled machine.
@@ -91,7 +98,10 @@ func NewGS1280(cfg GS1280Config) *GS1280 {
 		cfg.MLP = 16
 	}
 
-	eng := sim.NewEngine()
+	eng := cfg.Eng
+	if eng == nil {
+		eng = sim.NewEngine()
+	}
 	var topo *topology.Topology
 	if cfg.Shuffle {
 		topo = topology.NewShuffle(cfg.W, cfg.H)

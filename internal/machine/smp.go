@@ -45,6 +45,11 @@ type SMPConfig struct {
 	MLP int
 	// RegionBytes is the per-CPU memory region, as on the GS1280.
 	RegionBytes int64
+
+	// Eng, when non-nil, is the engine to build on instead of a fresh
+	// one. The caller must hand over a pristine engine (fresh or Reset);
+	// internal/experiments reuses one set per worker this way.
+	Eng *sim.Engine
 }
 
 // ES45Config returns the 4-CPU AlphaServer ES45 (1.25 GHz 21264)
@@ -129,6 +134,29 @@ type SMP struct {
 	// lastWriter tracks which CPU last dirtied each line, approximating
 	// read-dirty penalties without a full protocol.
 	lastWriter map[int64]int
+
+	// freeDone pools completion records (with their embedded timers), so
+	// the access path schedules without allocating a closure per access.
+	freeDone []*smpDone
+}
+
+// smpDone carries one access's completion callback to its scheduled
+// instant; pooled, like memctrl's completion records.
+type smpDone struct {
+	m          *SMP
+	t          sim.Timer
+	start, end sim.Time
+	done       func(sim.Time)
+}
+
+// runSMPDone dispatches a pooled completion; the record is released before
+// the callback runs because the callback usually issues the next access.
+func runSMPDone(a any) {
+	d := a.(*smpDone)
+	done, lat := d.done, d.end-d.start
+	d.done = nil
+	d.m.freeDone = append(d.m.freeDone, d)
+	done(lat)
 }
 
 // smpPort wires one CPU into the machine.
@@ -146,7 +174,10 @@ func NewSMP(cfg SMPConfig) *SMP {
 	if cfg.CPUs < 1 || cfg.CPUsPerNode < 1 {
 		panic("machine: invalid SMP config")
 	}
-	eng := sim.NewEngine()
+	eng := cfg.Eng
+	if eng == nil {
+		eng = sim.NewEngine()
+	}
 	m := &SMP{
 		Eng:        eng,
 		Cfg:        cfg,
@@ -260,7 +291,16 @@ func (m *SMP) completeAt(start sim.Time, lat sim.Time, done func(sim.Time)) {
 	if end < m.Eng.Now() {
 		end = m.Eng.Now()
 	}
-	m.Eng.At(end, func() { done(end - start) })
+	var d *smpDone
+	if n := len(m.freeDone); n > 0 {
+		d = m.freeDone[n-1]
+		m.freeDone = m.freeDone[:n-1]
+	} else {
+		d = &smpDone{m: m}
+		d.t.InitFunc(m.Eng, runSMPDone, d)
+	}
+	d.start, d.end, d.done = start, end, done
+	d.t.ScheduleAt(end)
 }
 
 // BusUtilization reports node g's memory-system busy fraction.

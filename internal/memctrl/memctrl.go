@@ -63,9 +63,15 @@ type Controller struct {
 	bus    *sim.Resource
 	// openRow[bank] is the row currently open in the bank, or -1.
 	openRow []int64
-	// openRing holds the banks with open pages in opening order; when it
-	// exceeds MaxOpenPages the oldest page is closed.
+	// openRing is a fixed-capacity circular FIFO of the banks with open
+	// pages, in opening order; at MaxOpenPages the oldest page is closed.
+	// A head index walks the fixed array instead of re-slicing, so a
+	// stride sweep that opens millions of pages never reallocates it (the
+	// old `ring = ring[1:]` + append pattern leaked an array realloc every
+	// few hundred page-opens — the read-miss benchmarks' stray bytes/op).
 	openRing []int
+	ringHead int
+	ringLen  int
 	// free is the pool of latency-completion records behind Access; a
 	// controller has at most a handful in flight, so the pool stays tiny
 	// and the steady-state access path allocates nothing.
@@ -75,10 +81,12 @@ type Controller struct {
 }
 
 // completion carries one Access's callback from issue to the scheduled
-// completion instant. Pooled so the closure-free path through sim.AtArg
-// stays allocation-free.
+// completion instant. Pooled, with its own embedded timer, so the
+// steady-state access path neither allocates nor touches the engine's
+// node pool.
 type completion struct {
 	c      *Controller
+	t      sim.Timer
 	done   func(lat sim.Time)
 	issued sim.Time
 	doneAt sim.Time
@@ -104,10 +112,11 @@ func New(eng *sim.Engine, params Params) *Controller {
 		panic("memctrl: need at least one open page")
 	}
 	c := &Controller{
-		eng:     eng,
-		params:  params,
-		bus:     sim.NewResource(eng),
-		openRow: make([]int64, params.Banks),
+		eng:      eng,
+		params:   params,
+		bus:      sim.NewResource(eng),
+		openRow:  make([]int64, params.Banks),
+		openRing: make([]int, params.MaxOpenPages),
 	}
 	for i := range c.openRow {
 		c.openRow[i] = -1
@@ -134,22 +143,24 @@ func (c *Controller) Access(addr int64, write bool, done func(lat sim.Time)) {
 		c.free = c.free[:n-1]
 	} else {
 		cp = &completion{c: c}
+		cp.t.InitFunc(c.eng, runCompletion, cp)
 	}
 	cp.done, cp.issued, cp.doneAt = done, issued, doneAt
-	c.eng.AtArg(doneAt, runCompletion, cp)
+	cp.t.ScheduleAt(doneAt)
 }
 
-// AccessArg performs one line read or write at addr and schedules fn(arg)
-// at completion. It is the zero-allocation variant of Access for callers
-// that carry their own transaction state and do not need the latency
-// reported (the coherence layer's home-side directory reads and victim
-// writes): fn is pre-bound and arg pooled by the caller, so nothing on
-// this path touches the heap.
-func (c *Controller) AccessArg(addr int64, write bool, fn func(any), arg any) {
-	c.eng.AtArg(c.schedule(addr, write), fn, arg)
+// AccessAt performs one line read or write at addr and returns the
+// absolute completion time, leaving scheduling to the caller. It is the
+// zero-allocation variant of Access for callers that carry their own
+// transaction state and do not need the latency reported (the coherence
+// layer's home-side directory reads and victim writes): the caller arms
+// its transaction record's embedded timer for the returned instant, so
+// nothing on this path touches the heap.
+func (c *Controller) AccessAt(addr int64, write bool) sim.Time {
+	return c.schedule(addr, write)
 }
 
-// schedule performs the timing model shared by Access and AccessArg: page
+// schedule performs the timing model shared by Access and AccessAt: page
 // hit/miss resolution, bus queueing, and counters. It returns the absolute
 // completion time.
 func (c *Controller) schedule(addr int64, write bool) sim.Time {
@@ -179,12 +190,21 @@ func (c *Controller) schedule(addr int64, write bool) sim.Time {
 // controller is at its open-page limit.
 func (c *Controller) openPage(bank int, row int64) {
 	if c.openRow[bank] == -1 {
-		if len(c.openRing) >= c.params.MaxOpenPages {
-			oldest := c.openRing[0]
-			c.openRing = c.openRing[1:]
+		if c.ringLen == len(c.openRing) {
+			oldest := c.openRing[c.ringHead]
+			c.ringHead++
+			if c.ringHead == len(c.openRing) {
+				c.ringHead = 0
+			}
+			c.ringLen--
 			c.openRow[oldest] = -1
 		}
-		c.openRing = append(c.openRing, bank)
+		tail := c.ringHead + c.ringLen
+		if tail >= len(c.openRing) {
+			tail -= len(c.openRing)
+		}
+		c.openRing[tail] = bank
+		c.ringLen++
 	}
 	c.openRow[bank] = row
 }

@@ -29,12 +29,15 @@ type link struct {
 	// congestion signal prices a queue of data packets at its real drain
 	// time rather than pretending every packet is a control flit.
 	queuedBytes int
-	// pumpAt is the time of the earliest scheduled pump event, or -1 when
-	// none is pending, so spurious wakeups are never scheduled twice.
-	pumpAt sim.Time
-	// pumpFn is pump bound once at construction; scheduling a method value
-	// per wakeup would allocate on the hot path.
-	pumpFn func()
+	// pumpT is the link's single wakeup. Invariant: whenever it is armed
+	// for a future instant, that instant is freeAt — the earliest moment
+	// the wire could transmit — so an armed timer is never worth moving
+	// and never goes stale. The pre-timer engine could not rely on this:
+	// enqueues against a busy wire scheduled useless early wakeups whose
+	// superseded registrations then had to be dispatched and dropped
+	// (PR 2's stale-drop special case). With the timer, a queued pump slot
+	// is armed exactly once and every dispatch does real work.
+	pumpT sim.Timer
 
 	// adaptiveOcc counts packets per class currently holding an adaptive
 	// VC credit on this link (queued or in flight to the far router).
@@ -83,33 +86,29 @@ func (l *link) enqueue(p *Packet) {
 	l.schedulePump(l.net.eng.Now())
 }
 
-// schedulePump arranges for pump to run no later than t, coalescing with
-// any earlier pending pump.
+// schedulePump arranges for pump to run when the wire can next transmit.
+// An already-armed wakeup always stands: it is either at or before t, or
+// it is at freeAt while the wire is busy — and waking any earlier than
+// freeAt could not move a byte. Keeping the original registration also
+// preserves dispatch order bit-exactly: the pump pops at the seq of its
+// first arming for that instant, exactly where the old engine's surviving
+// (non-stale) wakeup sat.
 func (l *link) schedulePump(t sim.Time) {
-	if t < l.net.eng.Now() {
-		t = l.net.eng.Now()
-	}
-	if l.pumpAt >= 0 && l.pumpAt <= t {
+	if l.pumpT.Armed() {
 		return
 	}
-	l.pumpAt = t
-	l.net.eng.At(t, l.pumpFn)
+	if now := l.net.eng.Now(); t < now {
+		t = now
+	}
+	l.pumpT.ScheduleAt(t)
 }
 
-// pump transmits the best ready packet, if the wire is free.
+// pump transmits the best ready packet, if the wire is free. The timer
+// disarms before this runs, and armed wakeups are never superseded, so
+// every dispatch is current — the stale-wakeup drop the pre-timer engine
+// needed is gone by construction.
 func (l *link) pump() {
 	now := l.net.eng.Now()
-	if l.pumpAt != now {
-		// Stale wakeup: schedulePump armed an earlier event after this one
-		// was queued (engine events cannot be cancelled). Dropping it here
-		// is what keeps pump events O(packets): if stale wakeups fell
-		// through to the reschedule path below, every enqueue against a
-		// busy wire would leave a duplicate event re-arming itself once
-		// per serialization slot until the queue drained — an
-		// O(depth x packets) event storm on saturated links.
-		return
-	}
-	l.pumpAt = -1
 	if l.freeAt > now {
 		if l.queued > 0 {
 			l.schedulePump(l.freeAt)
@@ -128,9 +127,9 @@ func (l *link) pump() {
 	// Cut-through: the head reaches the far router after the wire delay;
 	// the tail still occupies this link until freeAt. The packet's
 	// pre-bound arrival callback reads p.via, so stamp the traversed link
-	// before scheduling.
+	// before arming.
 	p.via = l
-	l.net.eng.After(l.wire, p.arriveFn)
+	p.arriveT.Schedule(l.wire)
 	if l.queued > 0 {
 		l.schedulePump(l.freeAt)
 	}

@@ -80,15 +80,14 @@ func New(eng *sim.Engine, topo *topology.Topology, params Params) *Network {
 		row := make([]*link, len(edges))
 		for i, e := range edges {
 			l := &link{
-				net:    n,
-				from:   topology.NodeID(id),
-				edge:   e,
-				wire:   n.wireLatency(e.Class),
-				pumpAt: -1,
+				net:  n,
+				from: topology.NodeID(id),
+				edge: e,
+				wire: n.wireLatency(e.Class),
 			}
-			// Bind the pump callback once; scheduling a method value
-			// (l.pump) directly would allocate a fresh closure per event.
-			l.pumpFn = l.pump
+			// The pump callback is bound once into the link's timer; every
+			// later wakeup rearms the same wheel node.
+			l.pumpT.Init(eng, l.pump)
 			row[i] = l
 		}
 		n.links[id] = row
@@ -122,15 +121,22 @@ func (n *Network) serTime(size int) sim.Time {
 	return sim.TransferTime(size, n.params.LinkBandwidth)
 }
 
+// packetRoute, packetArrive and packetDeliver are the pre-bound phase
+// callbacks shared by every packet; the packet itself is the argument, so
+// binding a packet's timers allocates nothing beyond the packet.
+func packetRoute(a any)   { p := a.(*Packet); p.net.route(p, p.cur) }
+func packetArrive(a any)  { p := a.(*Packet); p.net.arrive(p, p.via) }
+func packetDeliver(a any) { p := a.(*Packet); p.net.deliver(p) }
+
 // Send injects p at p.Src. Local-destination packets are delivered after
 // the loopback (inject+eject) delay without touching any link, matching the
 // on-chip path between the cache and the local Zboxes.
 //
-// Send binds the packet's route/arrive/deliver callbacks once per Packet
-// lifetime; every later hop reschedules those same closures (parameterized
+// Send binds the packet's route/arrive/deliver phase timers once per
+// Packet lifetime; every later hop rearms the same timers (parameterized
 // by p.cur and p.via), so the steady-state pump/route/arrive cycle never
 // allocates. A delivered packet may be re-Sent (the coherence layer pools
-// its packets): the bound callbacks survive reuse, so a recycled packet's
+// its packets): the bound timers survive reuse, so a recycled packet's
 // whole flight allocates nothing. A reused packet must only ever be sent
 // through the network that first carried it, and never while a previous
 // flight is still in progress.
@@ -141,26 +147,27 @@ func (n *Network) Send(p *Packet) {
 	if p.Size <= 0 {
 		panic("network: packet without size")
 	}
+	if p.net == nil {
+		p.net = n
+		p.routeT.InitFunc(n.eng, packetRoute, p)
+		p.arriveT.InitFunc(n.eng, packetArrive, p)
+		p.deliverT.InitFunc(n.eng, packetDeliver, p)
+	} else if p.net != n {
+		panic("network: packet reused on a different network")
+	}
 	p.injectedAt = n.eng.Now()
 	p.Hops = 0
 	p.adaptiveOn = nil
 	n.injected++
-	if p.deliverFn == nil {
-		p.deliverFn = func() { n.deliver(p) }
-	}
 	if p.Src == p.Dst {
-		n.eng.After(n.params.InjectLatency+n.params.EjectLatency, p.deliverFn)
+		p.deliverT.Schedule(n.params.InjectLatency + n.params.EjectLatency)
 		return
-	}
-	if p.routeFn == nil {
-		p.routeFn = func() { n.route(p, p.cur) }
-		p.arriveFn = func() { n.arrive(p, p.via) }
 	}
 	// The packet pays one router pipeline per link it will traverse; the
 	// source router's pipeline is charged here, intermediate ones on
 	// arrival.
 	p.cur = p.Src
-	n.eng.After(n.params.InjectLatency+n.params.RouterLatency, p.routeFn)
+	p.routeT.Schedule(n.params.InjectLatency + n.params.RouterLatency)
 }
 
 // route picks the output link at node cur and enqueues the packet. It is
@@ -211,11 +218,11 @@ func (n *Network) arrive(p *Packet, l *link) {
 	p.Hops++
 	here := l.edge.To
 	if here == p.Dst {
-		n.eng.After(n.params.EjectLatency, p.deliverFn)
+		p.deliverT.Schedule(n.params.EjectLatency)
 		return
 	}
 	p.cur = here
-	n.eng.After(n.params.RouterLatency, p.routeFn)
+	p.routeT.Schedule(n.params.RouterLatency)
 }
 
 func (n *Network) deliver(p *Packet) {

@@ -91,13 +91,19 @@ type Packet struct {
 
 	// cur is the node whose router routes the packet next; via is the link
 	// the packet is currently traversing. Both are parameters of the
-	// routeFn/arriveFn callbacks below, carried on the packet so the
-	// closures can be bound once at injection (Network.Send) and then
-	// rescheduled by reference — the per-hop pump/route/arrive cycle
-	// allocates nothing (see BenchmarkLinkPump).
-	cur                          topology.NodeID
-	via                          *link
-	routeFn, arriveFn, deliverFn func()
+	// phase timers below, carried on the packet so one set of pre-bound
+	// callbacks serves the packet's whole lifetime — the per-hop
+	// pump/route/arrive cycle allocates nothing (see BenchmarkLinkPump).
+	cur topology.NodeID
+	via *link
+
+	// net is the network that first carried the packet; the phase timers
+	// are bound to its engine on first Send. A packet in flight has exactly
+	// one phase pending, but the three phases keep separate timers so each
+	// callback stays fixed for the packet's lifetime. A Packet must not be
+	// copied once sent: the engine wheel links through the timer nodes.
+	net                       *Network
+	routeT, arriveT, deliverT sim.Timer
 }
 
 // Common packet sizes in bytes. The EV7 moves 64-byte cache blocks; control

@@ -122,6 +122,13 @@ func Run(ctx context.Context, ids []string, opts Options) ([]Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns one Env: a pool of simulation engines reused
+			// (via Reset) across every unit it executes, so a sweep's worth
+			// of units stops re-growing event wheels and node pools per
+			// point. Envs are worker-private — a unit is single-goroutine —
+			// and a reset engine is bit-identical to a fresh one, so output
+			// determinism across worker counts is unaffected.
+			env := experiments.NewEnv()
 			for j := range jobCh {
 				if ctx.Err() != nil {
 					continue // cancelled: drain the queue without running
@@ -134,7 +141,8 @@ func Run(ctx context.Context, ids []string, opts Options) ([]Result, error) {
 				}
 				mu.Unlock()
 
-				part := st.units[j.unit].Run()
+				env.BeginUnit()
+				part := st.units[j.unit].Run(env)
 				elapsed := time.Since(start)
 
 				mu.Lock()

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"runtime"
 	"testing"
 	"testing/quick"
 )
@@ -376,32 +377,37 @@ func TestEngineAtArgZeroAlloc(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("AtArg+Step allocates %.2f allocs/op, want 0", allocs)
 	}
+	// Bytes too: backing-array churn can round to 0 allocs/op while still
+	// costing steady-state bandwidth.
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < 10000; i++ {
+		e.AtArg(e.now+1, fn, arg)
+		e.Step()
+	}
+	runtime.ReadMemStats(&m1)
+	if perOp := float64(m1.TotalAlloc-m0.TotalAlloc) / 10000; perOp > 1 {
+		t.Fatalf("AtArg+Step allocates %.2f bytes/op, want 0", perOp)
+	}
 }
 
-// TestEngineQueueShrinksAfterDrain guards the heap-capacity fix: a
+// TestEnginePoolBoundedAfterDrain guards the node pool's memory bound: a
 // saturation transient that queues tens of thousands of events must not
-// pin its peak-size backing array once the queue has drained back to a
-// small standing population (mirrors internal/network's ring-buffer
-// memory-bound test).
-func TestEngineQueueShrinksAfterDrain(t *testing.T) {
+// pin its peak node population once the queue drains — nodes released
+// beyond maxFreeNodes go to the garbage collector (the wheel's analogue of
+// the old heap's shrink-after-drain).
+func TestEnginePoolBoundedAfterDrain(t *testing.T) {
 	e := NewEngine()
 	fn := func(any) {}
 	const peak = 100000
 	for i := 0; i < peak; i++ {
 		e.AtArg(Time(i+1), fn, nil)
 	}
-	peakCap := e.QueueCap()
-	if peakCap < peak {
-		t.Fatalf("queue cap %d below peak %d", peakCap, peak)
+	e.Run()
+	if got := len(e.free); got > maxFreeNodes {
+		t.Fatalf("free list holds %d nodes after %d-event transient; cap is %d", got, peak, maxFreeNodes)
 	}
-	// Drain to a standing population of a few events, as after a sweep.
-	for e.Pending() > 8 {
-		e.Step()
-	}
-	if got := e.QueueCap(); got > peakCap/16 {
-		t.Fatalf("queue cap %d after drain (peak %d); backing array not shrunk", got, peakCap)
-	}
-	// The queue still works after shrinking.
+	// The engine still works after the drop.
 	e.AtArg(e.now+1, fn, nil)
 	e.Run()
 	if e.Pending() != 0 {
@@ -409,21 +415,129 @@ func TestEngineQueueShrinksAfterDrain(t *testing.T) {
 	}
 }
 
-// TestEngineSmallQueueNeverShrinks pins the minShrinkCap guard: routine
-// push/pop oscillation on a small queue must not thrash reallocations.
-func TestEngineSmallQueueNeverShrinks(t *testing.T) {
+// TestTimerScheduleCancelReschedule covers the cancelable-handle
+// lifecycle: arm, fire, rearm from the callback, cancel, and the
+// armed-state queries.
+func TestTimerScheduleCancelReschedule(t *testing.T) {
 	e := NewEngine()
-	fn := func(any) {}
-	for i := 0; i < 64; i++ {
-		e.AtArg(Time(i+1), fn, nil)
+	var fired []Time
+	tm := e.Timer(func() { fired = append(fired, e.Now()) })
+	if tm.Armed() {
+		t.Fatal("fresh timer armed")
 	}
-	capBefore := e.QueueCap()
-	if capBefore >= minShrinkCap {
-		t.Skipf("warm cap %d unexpectedly at shrink threshold", capBefore)
+	tm.Schedule(10)
+	if !tm.Armed() || tm.When() != 10 {
+		t.Fatalf("armed=%v when=%v, want armed at 10", tm.Armed(), tm.When())
+	}
+	tm.Reschedule(5)
+	if tm.When() != 5 {
+		t.Fatalf("rescheduled when=%v, want 5", tm.When())
 	}
 	e.Run()
-	if got := e.QueueCap(); got != capBefore {
-		t.Fatalf("small queue cap changed %d -> %d; should be stable", capBefore, got)
+	if len(fired) != 1 || fired[0] != 5 {
+		t.Fatalf("fired=%v, want [5]", fired)
+	}
+	if tm.Armed() {
+		t.Fatal("timer still armed after firing")
+	}
+	tm.Schedule(7)
+	if !tm.Cancel() {
+		t.Fatal("cancel of armed timer reported false")
+	}
+	if tm.Cancel() {
+		t.Fatal("cancel of idle timer reported true")
+	}
+	e.Run()
+	if len(fired) != 1 {
+		t.Fatalf("cancelled timer fired: %v", fired)
+	}
+}
+
+// TestTimerCancelCostsNoDispatch pins the tentpole behaviour the link
+// pump relies on: a cancelled event never reaches dispatch, so Executed
+// counts only live work.
+func TestTimerCancelCostsNoDispatch(t *testing.T) {
+	e := NewEngine()
+	tm := e.Timer(func() { t.Fatal("cancelled timer dispatched") })
+	for i := 0; i < 1000; i++ {
+		tm.Schedule(Time(i + 1))
+		tm.Cancel()
+	}
+	// Include a far-horizon arm so the lazy heap-cancel path is covered.
+	tm.Schedule(200 * Microsecond)
+	tm.Cancel()
+	e.At(1, func() {})
+	e.Run()
+	if e.Executed() != 1 {
+		t.Fatalf("executed = %d, want 1 (cancels must not dispatch)", e.Executed())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", e.Pending())
+	}
+}
+
+// TestTimerOrderMatchesAtArg pins determinism across the two scheduling
+// APIs: a timer armed between two AtArg schedules ties at the same instant
+// in arm order, exactly as three AtArg calls would.
+func TestTimerOrderMatchesAtArg(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	record := func(a any) { order = append(order, *a.(*int)) }
+	one, three := 1, 3
+	tm := e.Timer(func() { order = append(order, 2) })
+	e.AtArg(9, record, &one)
+	tm.ScheduleAt(9)
+	e.AtArg(9, record, &three)
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("timer/AtArg tie-break violated: %v", order)
+	}
+}
+
+// TestEngineResetBehavesLikeFresh drives the same workload on a fresh
+// engine and on one reset after unrelated work (including events left
+// pending across every level of the wheel) and requires identical
+// dispatch traces — the property internal/runner's engine reuse rests on.
+func TestEngineResetBehavesLikeFresh(t *testing.T) {
+	workload := func(e *Engine) []Time {
+		var trace []Time
+		rng := NewRNG(7)
+		var reschedule func()
+		n := 0
+		reschedule = func() {
+			trace = append(trace, e.Now())
+			if n++; n < 500 {
+				e.After(Time(rng.Intn(300))*Nanosecond, reschedule)
+			}
+		}
+		e.After(1, reschedule)
+		e.Run()
+		return trace
+	}
+	fresh := NewEngine()
+	want := workload(fresh)
+
+	used := NewEngine()
+	used.AtArg(5, func(any) {}, nil)
+	used.Run()
+	used.At(3*Nanosecond, func() {})    // level 0 leftover
+	used.At(10*Microsecond, func() {})  // level 1 leftover
+	used.At(500*Microsecond, func() {}) // far-heap leftover
+	tm := used.Timer(func() {})         //
+	tm.Schedule(77 * Nanosecond)        // armed timer leftover
+	used.Reset()
+	if used.Now() != 0 || used.Pending() != 0 || used.Executed() != 0 {
+		t.Fatalf("reset engine not pristine: now=%v pending=%d executed=%d",
+			used.Now(), used.Pending(), used.Executed())
+	}
+	if got := workload(used); len(got) != len(want) {
+		t.Fatalf("reset engine trace length %d, fresh %d", len(got), len(want))
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("reset engine diverged at event %d: %v vs %v", i, got[i], want[i])
+			}
+		}
 	}
 }
 

@@ -1,0 +1,113 @@
+package sim
+
+import "fmt"
+
+// Timer is a reusable, cancelable handle on one engine event. The
+// callback is bound once at initialization; arming, disarming and
+// rearming are pointer surgery on the wheel's intrusive bucket lists, so
+// a component that repeatedly reschedules the same logical event — a link
+// pump tracking its wire, an injector pacing its arrivals, a retry
+// backoff — touches no pool and no heap, and a cancelled slot costs zero
+// dispatches (the old engine could not cancel, so stale wakeups had to be
+// scheduled anyway and dropped at dispatch).
+//
+// A Timer has at most one pending event. Schedule panics if the timer is
+// already armed — arm/fire/rearm protocols should use Schedule, coalescing
+// ones Reschedule. Firing disarms the timer before the callback runs, so
+// the callback may immediately rearm its own handle.
+//
+// Timers are meant to be embedded in the owning struct (Init) so arming
+// allocates nothing; Engine.Timer is the convenience allocating form. A
+// struct embedding an armed Timer must not be copied: the wheel holds
+// pointers into it. Determinism is unchanged: arming consumes one seq from
+// the same counter AtArg uses, so a timer event sorts exactly where the
+// equivalent AtArg event would.
+type Timer struct {
+	eng *Engine
+	n   timerNode
+}
+
+// Timer returns a new handle that runs fn when it fires.
+func (e *Engine) Timer(fn func()) *Timer {
+	t := &Timer{}
+	t.Init(e, fn)
+	return t
+}
+
+// Init binds an embedded timer to its engine and callback. It must be
+// called exactly once, before any scheduling.
+func (t *Timer) Init(e *Engine, fn func()) {
+	t.InitFunc(e, callNullary, fn)
+}
+
+// InitFunc is the pre-bound-callback form of Init, mirroring AtArg: fn is
+// typically a package function and arg the owning record, so even the
+// one-time initialization allocates nothing.
+func (t *Timer) InitFunc(e *Engine, fn func(any), arg any) {
+	if t.eng != nil {
+		panic("sim: Timer initialized twice")
+	}
+	if e == nil || fn == nil {
+		panic("sim: Timer needs an engine and a callback")
+	}
+	t.eng = e
+	t.n.fn, t.n.arg = fn, arg
+}
+
+// Inited reports whether Init/InitFunc has run (for lazy init patterns).
+func (t *Timer) Inited() bool { return t.eng != nil }
+
+// Armed reports whether the timer has a pending event.
+func (t *Timer) Armed() bool { return t.n.where != whereIdle }
+
+// When reports the pending event's timestamp; only meaningful while Armed.
+func (t *Timer) When() Time { return t.n.at }
+
+// Schedule arms the timer to fire d after the current time.
+func (t *Timer) Schedule(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	t.ScheduleAt(t.eng.now + d)
+}
+
+// ScheduleAt arms the timer to fire at absolute time at.
+func (t *Timer) ScheduleAt(at Time) {
+	e := t.eng
+	if e == nil {
+		panic("sim: Schedule on uninitialized Timer")
+	}
+	if t.Armed() {
+		panic("sim: Schedule on armed Timer (use Reschedule)")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.seq++
+	t.n.at, t.n.seq = at, e.seq
+	e.insert(&t.n)
+}
+
+// Cancel disarms the timer, reporting whether it was armed. The pending
+// event, if any, is removed without dispatching.
+func (t *Timer) Cancel() bool {
+	if !t.Armed() {
+		return false
+	}
+	t.eng.remove(&t.n)
+	return true
+}
+
+// Reschedule moves the timer to fire d after the current time, cancelling
+// any pending event first.
+func (t *Timer) Reschedule(d Time) {
+	t.Cancel()
+	t.Schedule(d)
+}
+
+// RescheduleAt moves the timer to fire at absolute time at, cancelling any
+// pending event first.
+func (t *Timer) RescheduleAt(at Time) {
+	t.Cancel()
+	t.ScheduleAt(at)
+}

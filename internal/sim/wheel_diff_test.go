@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// This file differentially tests the time-wheel engine against a
+// reference scheduler: a container/heap ordered by (time, seq) with
+// tombstone cancellation — semantically the pre-wheel engine plus
+// cancelable entries. Both sides execute identical randomized programs of
+// schedules, timer arms, cancels, reschedules and dispatches, including
+// same-tick seq ties, zero delays, bucket-boundary and horizon-crossing
+// timestamps; any divergence in the dispatch sequence fails the test.
+
+// refEngine is the reference scheduler.
+type refEngine struct {
+	h        refHeap
+	now      Time
+	seq      uint64
+	canceled map[uint64]bool // seqs of cancelled entries (tombstones)
+	live     int
+}
+
+type refEvent struct {
+	at  Time
+	seq uint64
+	id  int
+}
+
+type refHeap []refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(refEvent)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+func newRefEngine() *refEngine {
+	return &refEngine{canceled: map[uint64]bool{}}
+}
+
+// schedule registers event id at absolute time t and returns its seq (the
+// handle used to cancel it).
+func (r *refEngine) schedule(t Time, id int) uint64 {
+	r.seq++
+	heap.Push(&r.h, refEvent{at: t, seq: r.seq, id: id})
+	r.live++
+	return r.seq
+}
+
+func (r *refEngine) cancel(seq uint64) {
+	if !r.canceled[seq] {
+		r.canceled[seq] = true
+		r.live--
+	}
+}
+
+// step dispatches the next live event, reporting (id, ok).
+func (r *refEngine) step() (int, bool) {
+	for len(r.h) > 0 {
+		ev := heap.Pop(&r.h).(refEvent)
+		if r.canceled[ev.seq] {
+			delete(r.canceled, ev.seq)
+			continue
+		}
+		r.now = ev.at
+		r.live--
+		return ev.id, true
+	}
+	return 0, false
+}
+
+// diffDelays mixes every regime the wheel distinguishes: same-instant
+// ties, sub-bucket offsets, bucket boundaries, level-0/level-1 slot
+// boundaries, and far-heap horizon crossings (the level-1 span is ~67 us,
+// so the microsecond entries land beyond it from a standing start).
+var diffDelays = []Time{
+	0, 0, 1, 3, // same tick and sub-bucket
+	255, 256, 257, // level-0 bucket boundary (256 ps)
+	13 * Nanosecond, 60 * Nanosecond, 97 * Nanosecond, // typical model delays
+	262143, 262144, 262145, // level-0/level-1 slot boundary (262144 ps)
+	2 * Microsecond, 40 * Microsecond, // deep level 1
+	67 * Microsecond, 68 * Microsecond, // horizon edge (~67.1 us)
+	150 * Microsecond, 4 * Millisecond, // far heap
+}
+
+// TestWheelMatchesReferenceHeap drives both schedulers with the same
+// randomized program — one-shot schedules from outside and from inside
+// callbacks — and requires the exact same dispatch sequence.
+func TestWheelMatchesReferenceHeap(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 99, 1234} {
+		rng := NewRNG(seed)
+		eng := NewEngine()
+		ref := newRefEngine()
+
+		var got, want []int
+		nextID := 0
+		scheduleBoth := func(d Time) {
+			id := nextID
+			nextID++
+			eng.At(eng.Now()+d, func() { got = append(got, id) })
+			ref.schedule(ref.now+d, id)
+		}
+
+		// Phase 1: bulk schedules, including duplicate instants.
+		for i := 0; i < 400; i++ {
+			scheduleBoth(diffDelays[rng.Intn(len(diffDelays))])
+		}
+		// Interleave: run a few, schedule a few, repeatedly.
+		for round := 0; round < 60; round++ {
+			steps := rng.Intn(20)
+			for i := 0; i < steps; i++ {
+				if !eng.Step() {
+					break
+				}
+				id, ok := ref.step()
+				if !ok {
+					t.Fatalf("seed %d: reference drained before wheel", seed)
+				}
+				want = append(want, id)
+			}
+			for i := 0; i < rng.Intn(10); i++ {
+				scheduleBoth(diffDelays[rng.Intn(len(diffDelays))])
+			}
+		}
+		// Drain.
+		for eng.Step() {
+			id, ok := ref.step()
+			if !ok {
+				t.Fatalf("seed %d: reference drained before wheel", seed)
+			}
+			want = append(want, id)
+		}
+		if _, ok := ref.step(); ok {
+			t.Fatalf("seed %d: wheel drained before reference", seed)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: dispatched %d events, reference %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: dispatch order diverged at %d: wheel id %d, reference id %d",
+					seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestWheelTimersMatchReferenceHeap adds cancelable timers to the
+// program: a pool of handles randomly armed, cancelled and rescheduled
+// between dispatch bursts, against reference tombstones.
+func TestWheelTimersMatchReferenceHeap(t *testing.T) {
+	for _, seed := range []uint64{7, 8, 42, 4242} {
+		rng := NewRNG(seed)
+		eng := NewEngine()
+		ref := newRefEngine()
+
+		var got, want []int
+		const nTimers = 24
+		type refTimer struct {
+			seq   uint64
+			armed bool
+		}
+		refTimers := make([]refTimer, nTimers)
+		timers := make([]*Timer, nTimers)
+		for i := 0; i < nTimers; i++ {
+			i := i
+			timers[i] = eng.Timer(func() {
+				got = append(got, -(i + 1))
+				refTimers[i].armed = false // fired on the wheel side; mirror state
+			})
+		}
+
+		nextID := 0
+		oneShot := func(d Time) {
+			id := nextID
+			nextID++
+			eng.At(eng.Now()+d, func() { got = append(got, id) })
+			ref.schedule(ref.now+d, id)
+		}
+		armTimer := func(i int, d Time) {
+			at := eng.Now() + d
+			timers[i].RescheduleAt(at)
+			if refTimers[i].armed {
+				ref.cancel(refTimers[i].seq)
+			}
+			refTimers[i].seq = ref.schedule(ref.now+d, -(i + 1))
+			refTimers[i].armed = true
+		}
+		cancelTimer := func(i int) {
+			wasArmed := timers[i].Cancel()
+			if wasArmed != refTimers[i].armed {
+				t.Fatalf("seed %d: armed-state mismatch on timer %d", seed, i)
+			}
+			if refTimers[i].armed {
+				ref.cancel(refTimers[i].seq)
+				refTimers[i].armed = false
+			}
+		}
+
+		for round := 0; round < 120; round++ {
+			for i := 0; i < rng.Intn(8); i++ {
+				oneShot(diffDelays[rng.Intn(len(diffDelays))])
+			}
+			for i := 0; i < rng.Intn(8); i++ {
+				ti := rng.Intn(nTimers)
+				switch rng.Intn(3) {
+				case 0, 1:
+					armTimer(ti, diffDelays[rng.Intn(len(diffDelays))])
+				case 2:
+					cancelTimer(ti)
+				}
+			}
+			steps := rng.Intn(15)
+			for i := 0; i < steps; i++ {
+				if !eng.Step() {
+					break
+				}
+				id, ok := ref.step()
+				if !ok {
+					t.Fatalf("seed %d: reference drained before wheel", seed)
+				}
+				want = append(want, id)
+				if id < 0 {
+					refTimers[-id-1].armed = false
+				}
+			}
+		}
+		for eng.Step() {
+			id, ok := ref.step()
+			if !ok {
+				t.Fatalf("seed %d: reference drained before wheel", seed)
+			}
+			want = append(want, id)
+		}
+		if _, ok := ref.step(); ok {
+			t.Fatalf("seed %d: wheel drained before reference", seed)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: dispatched %d events, reference %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: dispatch order diverged at %d: wheel %d, reference %d",
+					seed, i, got[i], want[i])
+			}
+		}
+		if eng.Pending() != ref.live {
+			t.Fatalf("seed %d: pending mismatch: wheel %d, reference %d", seed, eng.Pending(), ref.live)
+		}
+	}
+}
+
+// TestWheelMatchesReferenceNestedChains drives a self-rescheduling
+// workload — every dispatched event schedules successors from a shared
+// deterministic stream — so callback-time (nested) scheduling order is
+// compared too, across all wheel levels.
+func TestWheelMatchesReferenceNestedChains(t *testing.T) {
+	for _, seed := range []uint64{11, 23} {
+		eng := NewEngine()
+		ref := newRefEngine()
+		var got, want []int
+
+		// Both sides share one delay stream: as long as dispatch order
+		// matches, both consume identical delays for event k's children.
+		delayFor := func(id, child int) Time {
+			r := NewRNG(uint64(seed)*1e9 + uint64(id)*64 + uint64(child))
+			return diffDelays[r.Intn(len(diffDelays))]
+		}
+		nextID := 0
+		const maxEvents = 3000
+		var spawn func(eng *Engine, d Time)
+		spawn = func(eng *Engine, d Time) {
+			id := nextID
+			nextID++
+			eng.At(eng.Now()+d, func() {
+				got = append(got, id)
+				if id < maxEvents {
+					for c := 0; c < 1+id%3; c++ {
+						spawn(eng, delayFor(id, c))
+					}
+				}
+			})
+		}
+		// Reference side mirrors the same spawning rule during its own run.
+		var refSpawnID int
+		refSpawn := func(d Time) int {
+			id := refSpawnID
+			refSpawnID++
+			ref.schedule(ref.now+d, id)
+			return id
+		}
+
+		spawn(eng, 5)
+		refSpawn(5)
+		for eng.Step() {
+			id, ok := ref.step()
+			if !ok {
+				t.Fatalf("seed %d: reference drained early", seed)
+			}
+			want = append(want, id)
+			if id < maxEvents {
+				for c := 0; c < 1+id%3; c++ {
+					refSpawn(delayFor(id, c))
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d vs %d events", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: diverged at %d: wheel %d, reference %d", seed, i, got[i], want[i])
+			}
+		}
+	}
+}

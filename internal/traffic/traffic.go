@@ -240,13 +240,15 @@ type run struct {
 	res          Result
 }
 
-// source is one node's injection process.
+// source is one node's injection process. stepT is the recurring injection
+// timer: the same wheel node is rearmed for every attempt, and simply not
+// rearmed once the injection window closes.
 type source struct {
 	r        *run
 	node     topology.NodeID
 	rng      *sim.RNG
 	inFlight int
-	stepFn   func()
+	stepT    sim.Timer
 }
 
 // Run offers cfg.Rate load to net until warmup+measure elapses and returns
@@ -286,8 +288,8 @@ func Run(net *network.Network, cfg Config) Result {
 			node: topology.NodeID(id),
 			rng:  sim.NewRNG(cfg.Seed*0x9e3779b9 + uint64(id)*0x100000001b3 + 1),
 		}
-		s.stepFn = s.step
-		eng.At(s.firstAt(begin), s.stepFn)
+		s.stepT.Init(eng, s.step)
+		s.stepT.ScheduleAt(s.firstAt(begin))
 	}
 	// Utilization and queue watermarks cover only the measured window.
 	eng.At(r.measureStart, net.ResetStats)
@@ -352,7 +354,7 @@ func (s *source) step() {
 		return // injection window closed; do not re-arm
 	}
 	s.attempt(now)
-	s.r.eng.After(s.gap(), s.stepFn)
+	s.stepT.Schedule(s.gap())
 }
 
 // attempt offers one packet, honoring the in-flight cap.

@@ -1,0 +1,136 @@
+// Command benchguard compares two benchmark-trajectory JSON files (the
+// shape scripts/benchjson emits) and fails when the new point regresses:
+// ns/op worse than -max-regress on any common benchmark, allocs/op
+// rising above a zero baseline, or bytes/op rising above a zero
+// baseline (the amortized backing-array churn that rounds to 0
+// allocs/op but still costs bandwidth — exactly what the tightened
+// zero-alloc guards watch for). CI's bench-smoke job runs it against
+// the checked-in previous-PR file, so a scheduling or pooling
+// regression fails the build instead of silently eroding the speed
+// history the BENCH_pr<N>.json files track.
+//
+// The baseline file is typically measured on different hardware than
+// the CI runner, which scales every benchmark's ns/op by roughly the
+// same factor. To keep the gate signal instead of hardware noise,
+// per-benchmark ratios are normalized by the median ratio across all
+// common benchmarks before the -max-regress budget is applied: a
+// uniformly slower machine moves the median, not the spread, while a
+// single benchmark regressing against its peers still trips the gate.
+// Pass -normalize=false for same-machine comparisons.
+//
+// Usage:
+//
+//	benchguard -base BENCH_pr3.json -new BENCH_pr4.json [-max-regress 0.20]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type point struct {
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op"`
+	AllocsOp   float64 `json:"allocs_per_op"`
+}
+
+type trajectory struct {
+	PR           int              `json:"pr"`
+	Benchmarks   map[string]point `json:"benchmarks"`
+	SuiteSeconds float64          `json:"experiments_suite_seconds"`
+}
+
+func load(path string) trajectory {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var t trajectory
+	if err := json.Unmarshal(raw, &t); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return t
+}
+
+func main() {
+	basePath := flag.String("base", "", "baseline trajectory JSON (e.g. the previous PR's)")
+	newPath := flag.String("new", "", "freshly measured trajectory JSON")
+	maxRegress := flag.Float64("max-regress", 0.20, "allowed fractional ns/op regression per benchmark (after normalization)")
+	normalize := flag.Bool("normalize", true, "divide per-benchmark ratios by the median ratio to cancel machine-speed differences")
+	flag.Parse()
+	if *basePath == "" || *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, cur := load(*basePath), load(*newPath)
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no common benchmarks between %s and %s", *basePath, *newPath))
+	}
+
+	ratios := make(map[string]float64, len(names))
+	for _, name := range names {
+		b, n := base.Benchmarks[name], cur.Benchmarks[name]
+		if b.NsPerOp > 0 {
+			ratios[name] = n.NsPerOp / b.NsPerOp
+		} else {
+			ratios[name] = 1
+		}
+	}
+	scale := 1.0
+	if *normalize {
+		sorted := make([]float64, 0, len(names))
+		for _, name := range names {
+			sorted = append(sorted, ratios[name])
+		}
+		sort.Float64s(sorted)
+		scale = sorted[len(sorted)/2]
+		if scale <= 0 {
+			scale = 1
+		}
+		fmt.Printf("benchguard: normalizing by median ns/op ratio %.3f (cross-machine scale)\n", scale)
+	}
+
+	failed := false
+	for _, name := range names {
+		b, n := base.Benchmarks[name], cur.Benchmarks[name]
+		regress := ratios[name]/scale - 1
+		status := "ok"
+		if regress > *maxRegress {
+			status = fmt.Sprintf("FAIL (+%.0f%% vs peers > %.0f%% budget)", regress*100, *maxRegress*100)
+			failed = true
+		}
+		if b.AllocsOp == 0 && n.AllocsOp > 0 {
+			status = fmt.Sprintf("FAIL (%.2f allocs/op on a zero-alloc guarded path)", n.AllocsOp)
+			failed = true
+		}
+		if b.BytesPerOp == 0 && n.BytesPerOp > 1 {
+			status = fmt.Sprintf("FAIL (%.0f bytes/op on a zero-byte guarded path)", n.BytesPerOp)
+			failed = true
+		}
+		fmt.Printf("benchguard: %-32s %8.1f -> %8.1f ns/op (%+.0f%% vs peers)  %s\n",
+			name, b.NsPerOp, n.NsPerOp, regress*100, status)
+	}
+	if base.SuiteSeconds > 0 && cur.SuiteSeconds > 0 {
+		fmt.Printf("benchguard: experiments suite %.1fs -> %.1fs\n", base.SuiteSeconds, cur.SuiteSeconds)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchguard: regression against", *basePath)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}
