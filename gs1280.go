@@ -88,6 +88,35 @@ const (
 	RouteShuffle2Hop = topology.RouteShuffle2Hop
 )
 
+// LinkKey names one directed interconnect link for fault injection; see
+// topology.LinkKey.
+type LinkKey = topology.LinkKey
+
+// Dir labels the physical port a link leaves through.
+type Dir = topology.Dir
+
+// Link directions for LinkKey.Dir.
+const (
+	North   = topology.North
+	South   = topology.South
+	East    = topology.East
+	West    = topology.West
+	Shuffle = topology.Shuffle
+)
+
+// FailLink takes a physical link (both directions) out of m's interconnect
+// at the current simulated time: routing tables are rebuilt around the
+// hole, queued packets requeue through the recomputed routes, and in-flight
+// packets finish their wire hop before detouring. Schedule it through
+// m.Engine().At/After to fail a cable mid-run. Panics if the failure set
+// would partition the machine, if the link is already failed, or if k
+// names an edge the topology does not have.
+func FailLink(m *Machine, k LinkKey) { m.Net.FailLink(k) }
+
+// RestoreLink returns a previously failed link to service; with no
+// failures left, routing is again bit-identical to a never-faulted fabric.
+func RestoreLink(m *Machine, k LinkKey) { m.Net.RestoreLink(k) }
+
 // New builds a GS1280 machine.
 func New(cfg Config) *Machine { return machine.NewGS1280(cfg) }
 

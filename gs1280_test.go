@@ -78,8 +78,8 @@ func TestXmeshRender(t *testing.T) {
 
 func TestExperimentRegistryExposed(t *testing.T) {
 	ids := gs1280.ExperimentIDs()
-	if len(ids) != 30 {
-		t.Fatalf("%d experiment ids, want 30 (24 figures + table 1 + fig16x17 + 3 saturation sweeps + ablation)", len(ids))
+	if len(ids) != 32 {
+		t.Fatalf("%d experiment ids, want 32 (24 figures + table 1 + fig16x17 + 3 saturation sweeps + 2 degraded-fabric sweeps + ablation)", len(ids))
 	}
 	if ids[0] != "fig1" || ids[len(ids)-1] != "ablation" {
 		t.Fatalf("unexpected ordering: %v", ids)
@@ -93,6 +93,29 @@ func TestExperimentRegistryExposed(t *testing.T) {
 	}
 	if _, err := gs1280.Experiment("nope", true); err == nil {
 		t.Fatal("bad id did not error")
+	}
+}
+
+func TestFaultInjectionExposed(t *testing.T) {
+	// Node 1 sits one East hop from node 0; with that link failed the same
+	// read must detour and pay for it. Each phase uses a fresh machine —
+	// a reused one would serve the second read from cache.
+	k := gs1280.LinkKey{From: 0, To: 1, Dir: gs1280.East}
+	measure := func(fault func(*gs1280.Machine)) gs1280.Time {
+		m := gs1280.New(gs1280.Config{W: 4, H: 4})
+		if fault != nil {
+			fault(m)
+		}
+		return gs1280.MeasureReadLatency(m, 0, 1)
+	}
+	healthy := measure(nil)
+	degraded := measure(func(m *gs1280.Machine) { gs1280.FailLink(m, k) })
+	restored := measure(func(m *gs1280.Machine) { gs1280.FailLink(m, k); gs1280.RestoreLink(m, k) })
+	if degraded <= healthy {
+		t.Fatalf("degraded read latency %v not above healthy %v", degraded, healthy)
+	}
+	if restored != healthy {
+		t.Fatalf("restored read latency %v, want healthy %v", restored, healthy)
 	}
 }
 

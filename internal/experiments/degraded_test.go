@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"gs1280/internal/topology"
+)
+
+// TestDegradedHealthyRowsMatchSaturUniform pins the acceptance identity:
+// with an empty failure set, degraded-satur is satur-uniform — every
+// measured cell byte-identical, because a nil prep hook schedules nothing
+// and the simulation replays bit for bit.
+func TestDegradedHealthyRowsMatchSaturUniform(t *testing.T) {
+	base, err := Run("satur-uniform", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := Run("degraded-satur", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var healthy [][]string
+	for _, r := range deg.Rows {
+		if r[1] != "0" {
+			continue
+		}
+		// Shared columns: routing, rate, then the six measured cells
+		// (delivered MB/s .. peak queue).
+		healthy = append(healthy, append([]string{r[0]}, r[2:9]...))
+		if r[9] != "0" || r[10] != "0" {
+			t.Errorf("healthy row %v has nonzero fault counters", r)
+		}
+	}
+	if len(healthy) != len(base.Rows) {
+		t.Fatalf("degraded-satur has %d healthy rows, satur-uniform %d", len(healthy), len(base.Rows))
+	}
+	for i := range healthy {
+		if !reflect.DeepEqual(healthy[i], base.Rows[i]) {
+			t.Errorf("healthy row %d diverges:\ndegraded: %v\nbaseline: %v", i, healthy[i], base.Rows[i])
+		}
+	}
+}
+
+// TestDegradedSaturSingleFaultFinite pins the acceptance shape of the
+// single-cable-failure sweep on the 8x8 torus: every sample still
+// delivers (finite latency, nonzero throughput, nonzero acceptance), and
+// the sweep as a whole shows the detour tax — non-minimal hops — while
+// staying below the healthy adaptive knee throughput.
+func TestDegradedSaturSingleFaultFinite(t *testing.T) {
+	tab, err := Run("degraded-satur", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nonMinimal, reroutes float64
+	healthyPeak, faultPeak := 0.0, 0.0
+	for _, r := range tab.Rows {
+		if r[0] == "adaptive" && r[1] == "0" {
+			if bw := parse(t, r[3]); bw > healthyPeak {
+				healthyPeak = bw
+			}
+		}
+		if r[1] != "1" {
+			continue
+		}
+		bw, lat, acc := parse(t, r[3]), parse(t, r[4]), parse(t, r[5])
+		if bw <= 0 || lat <= 0 || acc <= 0 {
+			t.Errorf("1-fault row %v drained or stalled", r)
+		}
+		nonMinimal += parse(t, r[9+1])
+		reroutes += parse(t, r[9])
+		if r[0] == "adaptive" {
+			if bw > faultPeak {
+				faultPeak = bw
+			}
+		}
+	}
+	if nonMinimal == 0 {
+		t.Error("single-fault sweep took no non-minimal hops; the detour never happened")
+	}
+	if reroutes == 0 {
+		t.Error("single-fault sweep rerouted no queued packets; the failure landed on empty queues in every sample")
+	}
+	if faultPeak >= healthyPeak {
+		t.Errorf("1-fault peak %0.f MB/s not below healthy peak %.0f: losing a wrap cable must cost bisection", faultPeak, healthyPeak)
+	}
+}
+
+// TestDegradedMapShape checks the latency map: every torus cell is a
+// finite latency (no partition, no drain — rings 1..8 are all populated on
+// an 8x8 torus), the degraded averages are at least the healthy average,
+// and the shuffle wiring's sparser rings render as "-" rather than lying.
+func TestDegradedMapShape(t *testing.T) {
+	tab, err := Run("degraded-map", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != degradedMapMaxDist+1 {
+		t.Fatalf("map has %d rows, want %d rings + average", len(tab.Rows), degradedMapMaxDist+1)
+	}
+	for _, r := range tab.Rows {
+		for col := 1; col <= 3; col++ { // torus, torus-1f, torus-2f
+			if v := parse(t, r[col]); v <= 0 {
+				t.Errorf("torus cell %s/%s not a positive latency", r[0], tab.Header[col])
+			}
+		}
+	}
+	avg := tab.Rows[degradedMapMaxDist]
+	healthy, oneFault, twoFault := parse(t, avg[1]), parse(t, avg[2]), parse(t, avg[3])
+	if oneFault < healthy || twoFault < oneFault {
+		t.Errorf("average latency not monotone in faults: %v / %v / %v", healthy, oneFault, twoFault)
+	}
+}
+
+// TestEngineReuseNoCounterLeak is the engine-pooling regression guard: a
+// sweep unit run on a worker's reused engine — after another unit dirtied
+// it with link faults, reroutes and degraded traffic — must produce
+// exactly the rows it produces on a fresh engine. Network counters,
+// link stats and adaptive occupancy all live on the per-unit network, and
+// Engine.Reset restores the clock and sequence stream, so nothing may
+// carry over.
+func TestEngineReuseNoCounterLeak(t *testing.T) {
+	fresh := saturPoint(nil, "satur-uniform", saturVariants[0], 20, 42, quickWarm, quickMeasure)
+
+	env := NewEnv()
+	env.BeginUnit()
+	first := saturPoint(env, "satur-uniform", saturVariants[0], 20, 42, quickWarm, quickMeasure)
+	// Dirty the pooled engine: a degraded unit that fails two cables and
+	// reroutes traffic mid-run.
+	env.BeginUnit()
+	_ = degradedSaturPoint(env, 2, saturVariants[0], 0, 2, 60, quickWarm, quickMeasure)
+	// And a latency-map unit that fails links at time zero.
+	env.BeginUnit()
+	_ = degradedMapColumn(env, 0, 2)
+	// The same unit again on the reused engine must replay bit for bit.
+	env.BeginUnit()
+	again := saturPoint(env, "satur-uniform", saturVariants[0], 20, 42, quickWarm, quickMeasure)
+
+	if !reflect.DeepEqual(fresh, first) {
+		t.Errorf("pooled first run diverges from fresh engine:\n%v\n%v", first, fresh)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Errorf("reused engine leaked state across units:\n%v\n%v", first, again)
+	}
+}
+
+// TestDegradedFaultSets pins the fault-set geometry on both wirings: the
+// level-1 set is the row-0 X wrap cable, level 2 adds the column-0
+// vertical closure (South wrap on the torus, twist chord on the shuffle),
+// and every key names a real cable.
+func TestDegradedFaultSets(t *testing.T) {
+	for _, w := range degradedMapWirings {
+		topo := w.mk()
+		if got := len(degradedFaults(topo, 0)); got != 0 {
+			t.Errorf("%s: level 0 has %d faults", topo.Name, got)
+		}
+		faults := degradedFaults(topo, 2)
+		if len(faults) != 2 {
+			t.Fatalf("%s: level 2 has %d faults", topo.Name, len(faults))
+		}
+		// Both must be cables, and masking both must leave the fabric
+		// connected (NewMask panics otherwise).
+		var keys []topology.LinkKey
+		for _, k := range faults {
+			keys = append(keys, k, k.Reverse())
+		}
+		topo.NewMask(keys)
+		if faults[0].Dir != topology.East {
+			t.Errorf("%s: first fault %v is not the X wrap", topo.Name, faults[0])
+		}
+		if d := faults[1].Dir; d != topology.South && d != topology.Shuffle {
+			t.Errorf("%s: second fault %v is not a vertical closure", topo.Name, faults[1])
+		}
+	}
+}

@@ -216,6 +216,8 @@ func Specs() []Spec {
 		saturSpec("satur-uniform"),
 		saturSpec("satur-transpose"),
 		saturSpec("satur-hotspot"),
+		degradedSaturSpec(),
+		degradedMapSpec(),
 		whole("ablation", func(q bool) *Table {
 			if q {
 				return AblationLoadTest([]int{4, 30}, quickWarm, quickMeasure)

@@ -55,10 +55,25 @@ func saturPattern(id string) traffic.Pattern {
 // Reset) with a fresh network.
 func saturRun(eng *sim.Engine, topo *topology.Topology, policy topology.RoutePolicy, disableAdaptive bool,
 	pattern traffic.Pattern, ratePerUs float64, warm, measure sim.Time, seed uint64) traffic.Result {
+	return saturRunPrep(eng, topo, policy, disableAdaptive, pattern, ratePerUs, warm, measure, seed, nil)
+}
+
+// saturRunPrep is saturRun with a setup hook: prep, when non-nil, runs
+// after the network is built and before traffic starts, so callers can
+// schedule simulated-time events against the run — the degraded-*
+// experiments arm their link-fault events here. A nil prep schedules
+// nothing and consumes no event sequence numbers, so the run is
+// bit-identical to one that never had the hook.
+func saturRunPrep(eng *sim.Engine, topo *topology.Topology, policy topology.RoutePolicy, disableAdaptive bool,
+	pattern traffic.Pattern, ratePerUs float64, warm, measure sim.Time, seed uint64,
+	prep func(*network.Network)) traffic.Result {
 	params := network.DefaultParams()
 	params.Policy = policy
 	params.DisableAdaptive = disableAdaptive
 	net := network.New(eng, topo, params)
+	if prep != nil {
+		prep(net)
+	}
 	return traffic.Run(net, traffic.Config{
 		Pattern: pattern,
 		Rate:    ratePerUs / 1000, // table rates are per us; traffic wants per ns

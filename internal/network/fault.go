@@ -1,0 +1,144 @@
+package network
+
+import (
+	"fmt"
+
+	"gs1280/internal/topology"
+)
+
+// Fault injection. The GS1280's torus keeps running with a cable or router
+// port out — the path diversity behind the paper's §4.1 recabling argument
+// is exactly what a degraded fabric spends. FailLink and RestoreLink are
+// the simulated-time events that exercise it: schedule them through
+// eng.At/After to fail a physical link mid-run.
+//
+// Failure semantics, in event order:
+//
+//  1. Both directions of the physical link are marked failed and the
+//     routing mask is rebuilt from the surviving graph (topology.NewMask),
+//     so every subsequent routing decision — including the requeues below —
+//     sees the recomputed tables. Construction panics only if the failure
+//     set partitions the machine.
+//  2. Each failed direction stops pumping: its armed wakeup is cancelled
+//     and pump refuses to transmit while failed, so no new packet touches
+//     the dead wire.
+//  3. Packets already queued on the failed directions are requeued: any
+//     adaptive credit held on the dead link is released, and each packet
+//     re-enters the routing pipeline at the link's source router (one
+//     router-pipeline delay, same pre-bound timer — requeueing allocates
+//     nothing). Queue drain order is deterministic: classes in declared
+//     order, FIFO within a class.
+//  4. A packet mid-flight on the wire completes its hop — cut-through has
+//     committed its head — releases its credit at arrival as usual, and
+//     reroutes at the far router with the masked tables.
+//
+// RestoreLink reverses step 1 and re-arms the pump; when the failure set
+// empties, the mask drops back to nil and routing is bit-identical to a
+// network that never saw a fault.
+
+// FailLink takes the physical link named by k out of service at the
+// current simulated time. k names either direction; both fail. Failing an
+// already-failed link panics (a double fault of the same cable is a driver
+// bug), as does naming an edge the topology does not have.
+func (n *Network) FailLink(k topology.LinkKey) {
+	rev := k.Reverse()
+	if n.isFailed(k) || n.isFailed(rev) {
+		panic(fmt.Sprintf("network: FailLink(%v): already failed", k))
+	}
+	a, b := n.linkAt(k), n.linkAt(rev)
+	// Build the mask before committing any state: NewMask is the validator
+	// (it panics on a partitioning set), and a driver probing survivability
+	// by recovering that panic must find the network untouched.
+	keys := append(n.failedKeys, k, rev)
+	mask := n.topo.NewMask(keys)
+	n.failedKeys = keys
+	n.mask = mask
+	for _, l := range [...]*link{a, b} {
+		l.failed = true
+		l.pumpT.Cancel()
+		n.requeueAll(l)
+	}
+}
+
+// RestoreLink returns a previously failed link to service. When no
+// failures remain the mask is dropped entirely, restoring healthy routing
+// (including shuffle-budget policies) bit-for-bit.
+func (n *Network) RestoreLink(k topology.LinkKey) {
+	rev := k.Reverse()
+	if !n.isFailed(k) || !n.isFailed(rev) {
+		panic(fmt.Sprintf("network: RestoreLink(%v): not failed", k))
+	}
+	keep := n.failedKeys[:0]
+	for _, fk := range n.failedKeys {
+		if fk != k && fk != rev {
+			keep = append(keep, fk)
+		}
+	}
+	n.failedKeys = keep
+	if len(n.failedKeys) == 0 {
+		n.mask = nil
+	} else {
+		n.mask = n.topo.NewMask(n.failedKeys)
+	}
+	for _, l := range [...]*link{n.linkAt(k), n.linkAt(rev)} {
+		l.failed = false
+		if l.queued > 0 {
+			// Defensive: routing never queues onto a failed link, so a
+			// restored link is empty — but if a future change lets one
+			// slip through, wake the wire rather than strand it.
+			l.schedulePump(l.freeAt)
+		}
+	}
+}
+
+// FailedLinks reports the failed directed edges in fail-event order. The
+// result is a copy: RestoreLink compacts the internal list in place, so
+// handing out the backing array would corrupt earlier snapshots.
+func (n *Network) FailedLinks() []topology.LinkKey {
+	return append([]topology.LinkKey(nil), n.failedKeys...)
+}
+
+// Degraded reports whether any link is currently failed.
+func (n *Network) Degraded() bool { return n.mask != nil }
+
+func (n *Network) isFailed(k topology.LinkKey) bool {
+	for _, fk := range n.failedKeys {
+		if fk == k {
+			return true
+		}
+	}
+	return false
+}
+
+// linkAt resolves a directed LinkKey to its link, panicking on edges the
+// topology does not have.
+func (n *Network) linkAt(k topology.LinkKey) *link {
+	if int(k.From) < 0 || int(k.From) >= len(n.dirLinks) || int(k.Dir) >= numDirPorts {
+		panic(fmt.Sprintf("network: no link %v", k))
+	}
+	l := n.dirLinks[k.From][k.Dir]
+	if l == nil || l.edge.To != k.To {
+		panic(fmt.Sprintf("network: no link %v", k))
+	}
+	return l
+}
+
+// requeueAll drains l's queues through the recomputed routes: every packet
+// releases any adaptive credit it holds on l and re-enters the routing
+// pipeline at l's source router.
+func (n *Network) requeueAll(l *link) {
+	for c := 0; c < int(numClasses); c++ {
+		for l.queues[c].len() > 0 {
+			p := l.queues[c].pop()
+			l.queued--
+			l.queuedBytes -= p.Size
+			if p.adaptiveOn == l {
+				l.adaptiveOcc[p.Class]--
+				p.adaptiveOn = nil
+			}
+			n.reroutes++
+			p.cur = l.from
+			p.routeT.Schedule(n.params.RouterLatency)
+		}
+	}
+}

@@ -43,6 +43,11 @@ type link struct {
 	// VC credit on this link (queued or in flight to the far router).
 	adaptiveOcc [numClasses]int
 
+	// failed marks a link taken out of service by Network.FailLink: the
+	// pump refuses to transmit and routing excludes the link until
+	// RestoreLink clears it.
+	failed bool
+
 	// Statistics, resettable by perfmon samplers.
 	busy      sim.Time
 	lastReset sim.Time
@@ -108,6 +113,12 @@ func (l *link) schedulePump(t sim.Time) {
 // every dispatch is current — the stale-wakeup drop the pre-timer engine
 // needed is gone by construction.
 func (l *link) pump() {
+	if l.failed {
+		// A failed wire moves nothing and does not rearm; FailLink already
+		// requeued the queues, and RestoreLink re-arms if anything slipped
+		// in between.
+		return
+	}
 	now := l.net.eng.Now()
 	if l.freeAt > now {
 		if l.queued > 0 {
@@ -157,23 +168,46 @@ func (l *link) pop() *Packet {
 	return p
 }
 
-// Utilization reports busy fraction since the last stats reset.
+// accruedBusy reports the serialization time actually elapsed inside the
+// current stats window. pump charges a packet's full serialization
+// interval up front, so while a packet's tail is still on the wire
+// (freeAt > now) the not-yet-elapsed remainder must be excluded; it will
+// have elapsed — or be excluded again — by the next read.
+func (l *link) accruedBusy(now sim.Time) sim.Time {
+	b := l.busy
+	if over := l.freeAt - now; over > 0 {
+		b -= over
+	}
+	return b
+}
+
+// Utilization reports busy fraction since the last stats reset. With busy
+// split exactly across reset boundaries (see resetStats) the wire can
+// never accrue more than the elapsed window, so the ratio is ≤ 1 by
+// construction — no clamp, and a value above 1 would be a real accounting
+// bug, not sampling noise to hide.
 func (l *link) utilization() float64 {
-	elapsed := l.net.eng.Now() - l.lastReset
+	now := l.net.eng.Now()
+	elapsed := now - l.lastReset
 	if elapsed <= 0 {
 		return 0
 	}
-	u := float64(l.busy) / float64(elapsed)
-	if u > 1 {
-		u = 1
-	}
-	return u
+	return float64(l.accruedBusy(now)) / float64(elapsed)
 }
 
 func (l *link) resetStats() {
+	now := l.net.eng.Now()
+	// Split an in-flight packet's serialization across the boundary: the
+	// remainder past now belongs to the window that opens here, not the one
+	// that just closed. Charging the whole interval to the start window
+	// inflated one sample (the old u > 1 clamp hid it) and starved the
+	// next.
 	l.busy = 0
+	if over := l.freeAt - now; over > 0 {
+		l.busy = over
+	}
 	l.packets = 0
 	l.bytes = 0
 	l.maxQueued = l.queued
-	l.lastReset = l.net.eng.Now()
+	l.lastReset = now
 }

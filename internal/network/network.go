@@ -48,6 +48,10 @@ func DefaultParams() Params {
 	}
 }
 
+// numDirPorts sizes the per-node direction-indexed link table: the four
+// torus ports plus the shuffle port.
+const numDirPorts = int(topology.Shuffle) + 1
+
 // Network is the torus interconnect of one simulated machine.
 type Network struct {
 	eng    *sim.Engine
@@ -55,14 +59,29 @@ type Network struct {
 	params Params
 	// links[n][i] drives topo.Neighbors(n)[i].
 	links [][]*link
+	// dirLinks[n][d] is the link out of node n through port d (nil when
+	// the node has no such port). Every topology this package wires has at
+	// most one edge per (node, direction) — New verifies it — so routing's
+	// edge-to-link resolution is one index instead of an O(degree) scan.
+	dirLinks [][numDirPorts]*link
 
 	// hopScratch is the reused next-hop buffer for route: a simulation is
 	// single-goroutine, so one scratch per network keeps the per-hop
 	// routing step allocation-free.
 	hopScratch []topology.Edge
 
-	// delivered/injected counters for sanity accounting.
-	injected, delivered uint64
+	// mask is the degraded-routing view while any link is failed (nil on a
+	// healthy fabric); failedKeys lists the failed directed edges in
+	// fail-event order, so mask rebuilds are deterministic.
+	mask       *topology.Mask
+	failedKeys []topology.LinkKey
+
+	// delivered/injected counters for sanity accounting; reroutes counts
+	// packets pulled off a failed link's queues and re-pathed, and
+	// nonMinimalHops counts degraded-mode hops that do not reduce the
+	// healthy-fabric distance (both cumulative, see Reroutes).
+	injected, delivered      uint64
+	reroutes, nonMinimalHops uint64
 }
 
 // New builds the interconnect for topo on eng.
@@ -75,6 +94,7 @@ func New(eng *sim.Engine, topo *topology.Topology, params Params) *Network {
 	}
 	n := &Network{eng: eng, topo: topo, params: params}
 	n.links = make([][]*link, topo.N())
+	n.dirLinks = make([][numDirPorts]*link, topo.N())
 	for id := 0; id < topo.N(); id++ {
 		edges := topo.Neighbors(topology.NodeID(id))
 		row := make([]*link, len(edges))
@@ -89,6 +109,13 @@ func New(eng *sim.Engine, topo *topology.Topology, params Params) *Network {
 			// later wakeup rearms the same wheel node.
 			l.pumpT.Init(eng, l.pump)
 			row[i] = l
+			// Build-time invariant behind the O(1) linkFor: one edge per
+			// physical port. A topology violating it would make routing
+			// ambiguous, so fail at construction, not per hop.
+			if int(e.Dir) >= numDirPorts || n.dirLinks[id][e.Dir] != nil {
+				panic(fmt.Sprintf("network: node %d has duplicate port %v", id, e.Dir))
+			}
+			n.dirLinks[id][e.Dir] = l
 		}
 		n.links[id] = row
 	}
@@ -171,9 +198,16 @@ func (n *Network) Send(p *Packet) {
 }
 
 // route picks the output link at node cur and enqueues the packet. It is
-// called after the router pipeline delay has elapsed.
+// called after the router pipeline delay has elapsed. On a degraded fabric
+// (any link failed) the masked tables replace the policy tables: a fabric
+// with holes uses every surviving link regardless of shuffle budget,
+// because delivery outranks the firmware's chord-rationing heuristics.
 func (n *Network) route(p *Packet, cur topology.NodeID) {
-	n.hopScratch = n.topo.AppendNextHopsPolicy(n.hopScratch[:0], cur, p.Dst, n.params.Policy, p.Hops)
+	if n.mask != nil {
+		n.hopScratch = n.topo.AppendNextHopsMasked(n.hopScratch[:0], cur, p.Dst, n.mask)
+	} else {
+		n.hopScratch = n.topo.AppendNextHopsPolicy(n.hopScratch[:0], cur, p.Dst, n.params.Policy, p.Hops)
+	}
 	hops := n.hopScratch
 	if n.params.DisableAdaptive {
 		// Deterministic escape only: the dimension-ordered first hop, with
@@ -216,6 +250,11 @@ func (n *Network) arrive(p *Packet, l *link) {
 		p.adaptiveOn = nil
 	}
 	p.Hops++
+	if n.mask != nil && n.topo.Dist(l.edge.To, p.Dst) >= n.topo.Dist(l.from, p.Dst) {
+		// A hop that spent a link without closing healthy-metric distance:
+		// the price of routing around the hole.
+		n.nonMinimalHops++
+	}
 	here := l.edge.To
 	if here == p.Dst {
 		p.deliverT.Schedule(n.params.EjectLatency)
@@ -230,13 +269,11 @@ func (n *Network) deliver(p *Packet) {
 	p.OnDeliver()
 }
 
+// linkFor resolves a routing edge to its output link: a direction index,
+// not a neighbor scan — the per-(node, port) uniqueness it relies on is a
+// build-time invariant checked in New.
 func (n *Network) linkFor(cur topology.NodeID, e topology.Edge) *link {
-	for i, cand := range n.topo.Neighbors(cur) {
-		if cand.To == e.To && cand.Dir == e.Dir {
-			return n.links[cur][i]
-		}
-	}
-	panic(fmt.Sprintf("network: no link at node %d toward %d via %v", cur, e.To, e.Dir))
+	return n.dirLinks[cur][e.Dir]
 }
 
 // Injected reports packets accepted so far.
@@ -247,6 +284,17 @@ func (n *Network) Delivered() uint64 { return n.delivered }
 
 // InFlight reports packets injected but not yet delivered.
 func (n *Network) InFlight() uint64 { return n.injected - n.delivered }
+
+// Reroutes reports packets pulled off a failed link's queues and re-pathed
+// through the recomputed tables. Cumulative over the network's lifetime —
+// fault events are rare, so samplers (perfmon) take their own deltas
+// rather than having ResetStats zero a fault audit trail.
+func (n *Network) Reroutes() uint64 { return n.reroutes }
+
+// NonMinimalHops reports hops taken on a degraded fabric that did not
+// reduce the healthy-fabric distance — the detour tax of routing around
+// failed links. Cumulative, like Reroutes.
+func (n *Network) NonMinimalHops() uint64 { return n.nonMinimalHops }
 
 // LinkStat is a utilization and occupancy snapshot of one directed link.
 type LinkStat struct {

@@ -29,6 +29,12 @@ type NodeSample struct {
 type Snapshot struct {
 	At    sim.Time
 	Nodes []NodeSample
+	// Reroutes and NonMinimalHops count fault-recovery activity inside
+	// this interval: packets pulled off failed links and re-pathed, and
+	// degraded-mode hops that made no healthy-metric progress. Both stay
+	// zero on a healthy fabric; a burst of reroutes marks the sample in
+	// which a cable died, a steady non-minimal rate the detour tax after.
+	Reroutes, NonMinimalHops uint64
 }
 
 // AvgZbox reports the machine-mean memory controller utilization.
@@ -86,6 +92,11 @@ type Sampler struct {
 	m         *machine.GS1280
 	interval  sim.Time
 	Snapshots []Snapshot
+	// lastReroutes/lastNonMinimal hold the network's cumulative fault
+	// counters at the previous boundary; the network does not reset them
+	// with the rest of the stats (they are an audit trail), so the sampler
+	// takes its own deltas.
+	lastReroutes, lastNonMinimal uint64
 }
 
 // NewSampler builds a sampler; call Schedule to arm it.
@@ -103,13 +114,21 @@ func (s *Sampler) Schedule(n int) {
 	eng := s.m.Engine()
 	s.m.Coh.ResetStats()
 	s.m.Net.ResetStats()
+	s.lastReroutes = s.m.Net.Reroutes()
+	s.lastNonMinimal = s.m.Net.NonMinimalHops()
 	for i := 1; i <= n; i++ {
 		eng.After(sim.Time(i)*s.interval, s.capture)
 	}
 }
 
 func (s *Sampler) capture() {
-	snap := Snapshot{At: s.m.Engine().Now()}
+	snap := Snapshot{
+		At:             s.m.Engine().Now(),
+		Reroutes:       s.m.Net.Reroutes() - s.lastReroutes,
+		NonMinimalHops: s.m.Net.NonMinimalHops() - s.lastNonMinimal,
+	}
+	s.lastReroutes += snap.Reroutes
+	s.lastNonMinimal += snap.NonMinimalHops
 	for i := 0; i < s.m.N(); i++ {
 		id := topology.NodeID(i)
 		avg, ns, ew := s.m.Net.NodeLinkUtilization(id)
@@ -142,5 +161,9 @@ func Render(topo *topology.Topology, snap Snapshot) string {
 	b.WriteString(hline)
 	node, util := snap.HottestZbox()
 	fmt.Fprintf(&b, "hottest Zbox: CPU%d at %.0f%%\n", node, util*100)
+	if snap.Reroutes > 0 || snap.NonMinimalHops > 0 {
+		fmt.Fprintf(&b, "degraded fabric: %d reroutes, %d non-minimal hops this interval\n",
+			snap.Reroutes, snap.NonMinimalHops)
+	}
 	return b.String()
 }

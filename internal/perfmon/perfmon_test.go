@@ -7,6 +7,7 @@ import (
 	"gs1280/internal/cpu"
 	"gs1280/internal/machine"
 	"gs1280/internal/sim"
+	"gs1280/internal/topology"
 	"gs1280/internal/workload"
 )
 
@@ -89,6 +90,42 @@ func TestSamplerIntervalsIndependent(t *testing.T) {
 	first := s.Snapshots[0]
 	if first.AvgZbox() <= 0.01 {
 		t.Fatalf("busy interval shows no utilization")
+	}
+}
+
+// TestSamplerCountsFaultRecovery kills a wrap cable mid-run and checks the
+// sampler's fault counters: intervals before the failure read zero, the
+// degraded intervals show non-minimal detour hops, and Render surfaces the
+// degradation line only once the fabric is actually degraded.
+func TestSamplerCountsFaultRecovery(t *testing.T) {
+	m := machine.NewGS1280(machine.GS1280Config{W: 4, H: 2})
+	s := NewSampler(m, 10*sim.Microsecond)
+	for i := 1; i < m.N(); i++ {
+		m.CPU(i).Run(workload.NewHotSpot(m.RegionBase(0), m.RegionBytes(), 1_000_000, uint64(i)), nil)
+	}
+	k := topology.LinkKey{
+		From: m.Topo.Node(topology.Coord{X: 3, Y: 0}),
+		To:   m.Topo.Node(topology.Coord{X: 0, Y: 0}),
+		Dir:  topology.East,
+	}
+	m.Engine().At(15*sim.Microsecond, func() { m.Net.FailLink(k) })
+	s.Schedule(3)
+	m.Engine().RunUntil(35 * sim.Microsecond)
+	if len(s.Snapshots) != 3 {
+		t.Fatalf("snapshots = %d, want 3", len(s.Snapshots))
+	}
+	before, after := s.Snapshots[0], s.Snapshots[1]
+	if before.Reroutes != 0 || before.NonMinimalHops != 0 {
+		t.Fatalf("healthy interval shows fault activity: %+v", before)
+	}
+	if after.NonMinimalHops == 0 {
+		t.Fatal("degraded interval shows no non-minimal hops")
+	}
+	if strings.Contains(Render(m.Topo, before), "degraded fabric") {
+		t.Error("healthy snapshot renders a degradation line")
+	}
+	if !strings.Contains(Render(m.Topo, after), "degraded fabric") {
+		t.Error("degraded snapshot missing the degradation line")
 	}
 }
 

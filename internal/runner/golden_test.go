@@ -22,7 +22,7 @@ import (
 //
 // (and likewise for the other ids), then explain the change in the PR.
 func TestGoldenOutputsAcrossWorkerCounts(t *testing.T) {
-	ids := []string{"fig12", "fig15", "satur-uniform"}
+	ids := []string{"fig12", "fig15", "satur-uniform", "degraded-satur"}
 	for _, workers := range []int{1, 8} {
 		results, err := Run(context.Background(), ids, Options{Workers: workers, Quick: true})
 		if err != nil {

@@ -1,0 +1,179 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+)
+
+// failPair returns the undirected failure set of one physical link.
+func failPair(k LinkKey) []LinkKey { return []LinkKey{k, k.Reverse()} }
+
+// TestMaskEmptyFailureSetMatchesHealthy pins the zero-fault identity: an
+// empty mask reproduces the healthy distance table and next-hop sets
+// exactly, so a degraded experiment with no failures is the healthy
+// baseline.
+func TestMaskEmptyFailureSetMatchesHealthy(t *testing.T) {
+	for _, topo := range []*Topology{NewTorus(4, 4), NewTorus(8, 2), NewShuffle(8, 2), NewShuffle(4, 4)} {
+		m := topo.NewMask(nil)
+		n := topo.N()
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if m.Dist(NodeID(a), NodeID(b)) != topo.Dist(NodeID(a), NodeID(b)) {
+					t.Fatalf("%s: empty-mask dist(%d,%d) = %d, healthy %d", topo.Name, a, b,
+						m.Dist(NodeID(a), NodeID(b)), topo.Dist(NodeID(a), NodeID(b)))
+				}
+				if a == b {
+					continue
+				}
+				got := topo.NextHopsMasked(NodeID(a), NodeID(b), m)
+				want := topo.NextHops(NodeID(a), NodeID(b))
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s: empty-mask hops(%d,%d) = %v, healthy %v", topo.Name, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMaskSingleFailureProperties sweeps every single physical-link
+// failure on ≥3-wide tori and checks the degraded-routing contract:
+// construction succeeds (a torus survives any one cable), masked distances
+// are sandwiched between the healthy distance and a two-hop detour, failed
+// edges never appear in a next-hop set, and every offered hop makes
+// monotone progress in the masked metric.
+func TestMaskSingleFailureProperties(t *testing.T) {
+	for _, topo := range []*Topology{NewTorus(3, 3), NewTorus(4, 4), NewTorus(8, 3)} {
+		n := topo.N()
+		for _, k := range topo.Links() {
+			m := topo.NewMask(failPair(k))
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					if a == b {
+						continue
+					}
+					healthy := topo.Dist(NodeID(a), NodeID(b))
+					masked := m.Dist(NodeID(a), NodeID(b))
+					if masked < healthy {
+						t.Fatalf("%s fail %v: dist(%d,%d) %d below healthy %d", topo.Name, k, a, b, masked, healthy)
+					}
+					if masked > healthy+2 {
+						t.Fatalf("%s fail %v: dist(%d,%d) %d exceeds healthy %d + 2-hop detour",
+							topo.Name, k, a, b, masked, healthy)
+					}
+					for _, e := range topo.NextHopsMasked(NodeID(a), NodeID(b), m) {
+						ek := LinkKey{From: NodeID(a), To: e.To, Dir: e.Dir}
+						if ek == k || ek == k.Reverse() {
+							t.Fatalf("%s fail %v: next hop %v uses the failed link", topo.Name, k, ek)
+						}
+						if m.Dist(e.To, NodeID(b)) != masked-1 {
+							t.Fatalf("%s fail %v: hop %v from %d to dst %d not monotone", topo.Name, k, ek, a, b)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMaskRedundantDoubleLink pins the H=2 story the paper's recabling
+// argument leans on: the module link and the wrap cable duplicate each
+// other, so failing either leaves every distance untouched.
+func TestMaskRedundantDoubleLink(t *testing.T) {
+	topo := NewTorus(8, 2)
+	a := topo.Node(Coord{X: 0, Y: 1})
+	b := topo.Node(Coord{X: 0, Y: 0})
+	// The wrap cable (x=0, y=1) -> (x=0, y=0) is a South CableLink.
+	m := topo.NewMask(failPair(LinkKey{From: a, To: b, Dir: South}))
+	for x := 0; x < topo.N(); x++ {
+		for y := 0; y < topo.N(); y++ {
+			if m.Dist(NodeID(x), NodeID(y)) != topo.Dist(NodeID(x), NodeID(y)) {
+				t.Fatalf("redundant-link failure changed dist(%d,%d): %d vs %d",
+					x, y, m.Dist(NodeID(x), NodeID(y)), topo.Dist(NodeID(x), NodeID(y)))
+			}
+		}
+	}
+}
+
+// TestMaskNonMinimalFallback fails the only minimal first hop of a
+// neighbor pair and checks the mask reroutes through a longer surviving
+// path instead of panicking: the degraded route exists and is non-minimal
+// in the healthy metric.
+func TestMaskNonMinimalFallback(t *testing.T) {
+	topo := NewTorus(8, 8)
+	a := topo.Node(Coord{X: 0, Y: 0})
+	b := topo.Node(Coord{X: 1, Y: 0})
+	m := topo.NewMask(failPair(LinkKey{From: a, To: b, Dir: East}))
+	if got := m.Dist(a, b); got != 3 {
+		t.Fatalf("masked neighbor dist = %d, want 3 (around the hole)", got)
+	}
+	hops := topo.NextHopsMasked(a, b, m)
+	if len(hops) == 0 {
+		t.Fatal("no fallback hops offered")
+	}
+	for _, e := range hops {
+		if e.To == b {
+			t.Fatalf("fallback hop %v still reaches the far side directly", e)
+		}
+	}
+}
+
+// TestMaskDeterministicHopOrder rebuilds the same mask twice and checks
+// next-hop sequences are identical — the property the simulator's
+// replay-determinism rests on.
+func TestMaskDeterministicHopOrder(t *testing.T) {
+	topo := NewTorus(8, 8)
+	k := LinkKey{From: topo.Node(Coord{X: 7, Y: 0}), To: topo.Node(Coord{X: 0, Y: 0}), Dir: East}
+	m1 := topo.NewMask(failPair(k))
+	m2 := topo.NewMask(failPair(k))
+	for a := 0; a < topo.N(); a++ {
+		for b := 0; b < topo.N(); b++ {
+			if a == b {
+				continue
+			}
+			h1 := topo.NextHopsMasked(NodeID(a), NodeID(b), m1)
+			h2 := topo.NextHopsMasked(NodeID(a), NodeID(b), m2)
+			if !reflect.DeepEqual(h1, h2) {
+				t.Fatalf("hop order diverged at (%d,%d): %v vs %v", a, b, h1, h2)
+			}
+		}
+	}
+}
+
+// TestMaskPanicsOnPartition checks the only permitted panic: a failure set
+// that actually cuts the machine in two.
+func TestMaskPanicsOnPartition(t *testing.T) {
+	topo := NewMesh(2, 1) // one link; failing it partitions the pair
+	k := LinkKey{From: 0, To: 1, Dir: East}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("partitioning failure set did not panic")
+		}
+	}()
+	topo.NewMask(failPair(k))
+}
+
+// TestMaskPanicsOnUnknownEdge checks typo'd failure sets fail loudly.
+func TestMaskPanicsOnUnknownEdge(t *testing.T) {
+	topo := NewTorus(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nonexistent edge did not panic")
+		}
+	}()
+	topo.NewMask([]LinkKey{{From: 0, To: 5, Dir: East}}) // 0 and 5 are not adjacent
+}
+
+// TestLinkKeyReverseRoundTrip pins Reverse against the wiring: every
+// enumerated edge's reverse exists, and reversing twice is the identity.
+func TestLinkKeyReverseRoundTrip(t *testing.T) {
+	for _, topo := range []*Topology{NewTorus(4, 4), NewTorus(8, 2), NewShuffle(8, 2), NewShuffle(4, 4)} {
+		for _, k := range topo.Links() {
+			if !topo.hasEdge(k.Reverse()) {
+				t.Fatalf("%s: reverse of %v missing", topo.Name, k)
+			}
+			if rr := k.Reverse().Reverse(); rr != k {
+				t.Fatalf("%s: double reverse of %v = %v", topo.Name, k, rr)
+			}
+		}
+	}
+}

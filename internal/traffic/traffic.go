@@ -183,6 +183,10 @@ type Result struct {
 	AvgLinkUtil, MaxLinkUtil float64
 	PeakQueued               int
 	Measure                  sim.Time
+	// Reroutes/NonMinimalHops are the network's cumulative fault-recovery
+	// counters at the end of the run — zero on a healthy fabric (see
+	// network.Network.Reroutes).
+	Reroutes, NonMinimalHops uint64
 }
 
 // AvgLatencyNs reports mean delivered latency in nanoseconds.
@@ -306,6 +310,8 @@ func Run(net *network.Network, cfg Config) Result {
 		r.res.AvgLinkUtil = sum / float64(len(stats))
 	}
 	r.res.PeakQueued = net.PeakQueued()
+	r.res.Reroutes = net.Reroutes()
+	r.res.NonMinimalHops = net.NonMinimalHops()
 	return r.res
 }
 
