@@ -115,14 +115,20 @@ func (s *System) putMsg(m *msg) {
 // timer; it is the only local-dispatch shape the protocol needs.
 func deliverLocal(a any) { a.(*msg).s.deliverMsg(a.(*msg)) }
 
-// post sends m from src to dst, over the network unless src == dst.
-func (s *System) post(src, dst topology.NodeID, class network.Class, size int, m *msg) {
+// post sends m from src to dst, over the network unless src == dst. Each
+// sender passes the packet's criticality: the class encodes protocol
+// dependence (deadlock correctness), the criticality encodes whether a
+// processor is stalled on the message (arbitration urgency).
+func (s *System) post(src, dst topology.NodeID, class network.Class, crit network.Criticality, size int, m *msg) {
+	if s.params.ForceCritOn {
+		crit = s.params.ForceCrit
+	}
 	if src == dst {
 		m.t.Schedule(0)
 		return
 	}
 	p := &m.pkt
-	p.Src, p.Dst, p.Class, p.Size = src, dst, class, size
+	p.Src, p.Dst, p.Class, p.Crit, p.Size = src, dst, class, crit, size
 	s.net.Send(p)
 }
 
@@ -174,7 +180,7 @@ func (s *System) deliverMsg(m *msg) {
 		m.kind = mkZboxShareWB
 		m.ctl = ctl
 		m.e = e
-		m.t.ScheduleAt(home.z[ctl].AccessAt(line, true))
+		m.t.ScheduleAt(s.zboxBgWriteAt(home, ctl, line))
 
 	case mkZboxShareWB:
 		home, line, ctl, e := m.nd, m.line, m.ctl, m.e
@@ -269,7 +275,7 @@ func (s *System) sendForward(home *node, line int64, owner, requester topology.N
 	m.line = line
 	m.to = requester
 	m.mod = mod
-	s.post(home.id, owner, network.Forward, network.CtlPacketSize, m)
+	s.post(home.id, owner, network.Forward, network.CritDemand, network.CtlPacketSize, m)
 }
 
 // ownerForward runs at the owner when a (possibly deferred) Forward is
@@ -309,7 +315,7 @@ func (s *System) serveForward(o *node, line int64, requester topology.NodeID, mo
 		mr.value = value
 		mr.granted = cache.SharedClean
 		mr.acks = 0
-		s.post(o.id, requester, network.Response, network.DataPacketSize, mr)
+		s.post(o.id, requester, network.Response, network.CritDemand, network.DataPacketSize, mr)
 		mw := s.getMsg()
 		mw.kind = mkShareWB
 		mw.nd = s.nodes[home]
@@ -318,7 +324,7 @@ func (s *System) serveForward(o *node, line int64, requester topology.NodeID, mo
 		mw.from = o.id
 		mw.to = requester
 		mw.retained = retained
-		s.post(o.id, home, network.Response, network.DataPacketSize, mw)
+		s.post(o.id, home, network.Response, network.CritBackground, network.DataPacketSize, mw)
 		return
 	}
 	// Mod forward: yield ownership, data goes straight to the requester.
@@ -338,13 +344,13 @@ func (s *System) serveForward(o *node, line int64, requester topology.NodeID, mo
 	mr.value = value
 	mr.granted = cache.ExclusiveDirty
 	mr.acks = 0
-	s.post(o.id, requester, network.Response, network.DataPacketSize, mr)
+	s.post(o.id, requester, network.Response, network.CritDemand, network.DataPacketSize, mr)
 	mt := s.getMsg()
 	mt.kind = mkTransfer
 	mt.nd = s.nodes[home]
 	mt.line = line
 	mt.to = requester
-	s.post(o.id, home, network.Response, network.CtlPacketSize, mt)
+	s.post(o.id, home, network.Response, network.CritControl, network.CtlPacketSize, mt)
 }
 
 // transferArrived commits a mod-forward at the home: ownership moves to
@@ -369,7 +375,7 @@ func (s *System) sendInval(home *node, line int64, sharer, requester topology.No
 	m.nd = s.nodes[sharer]
 	m.line = line
 	m.to = requester
-	s.post(home.id, sharer, network.Forward, network.CtlPacketSize, m)
+	s.post(home.id, sharer, network.Forward, network.CritDemand, network.CtlPacketSize, m)
 }
 
 // invalArrived runs at a sharer when an invalidate lands.
@@ -386,7 +392,7 @@ func (s *System) invalArrived(sh *node, line int64, requester topology.NodeID) {
 	m.kind = mkInvAck
 	m.nd = s.nodes[requester]
 	m.line = line
-	s.post(sh.id, requester, network.Response, network.CtlPacketSize, m)
+	s.post(sh.id, requester, network.Response, network.CritDemand, network.CtlPacketSize, m)
 }
 
 // respond sends the home's data response with the granted state and the
@@ -400,7 +406,7 @@ func (s *System) respond(home *node, line int64, requester topology.NodeID, valu
 	m.value = value
 	m.granted = granted
 	m.acks = acks
-	s.post(home.id, requester, network.Response, network.DataPacketSize, m)
+	s.post(home.id, requester, network.Response, network.CritDemand, network.DataPacketSize, m)
 }
 
 // fillArrived records the data response in the requester's MAF.
@@ -530,6 +536,18 @@ func (s *System) completeFill(nd *node, entry *mafEntry) {
 func (s *System) recordMiss(nd *node, lat sim.Time) {
 	nd.stats.MissLatencySum += lat
 	nd.stats.MissLatencyCount++
+	s.missHist.Record(int64(lat))
+}
+
+// zboxBgWriteAt commits a background memory write (victim or sharing
+// writeback) on node nd's controller ctl. Background writes take the
+// yielding AccessBgAt path — except under ForceCritOn, which flattens
+// memory scheduling to one class exactly as it flattens packet tags.
+func (s *System) zboxBgWriteAt(nd *node, ctl int, line int64) sim.Time {
+	if s.params.ForceCritOn {
+		return nd.z[ctl].AccessAt(line, true)
+	}
+	return nd.z[ctl].AccessBgAt(line, true)
 }
 
 // evictVictim sends a dirty line back to its home and holds the data in
@@ -547,7 +565,7 @@ func (s *System) evictVictim(nd *node, v cache.Victim) {
 	m.from = nd.id
 	m.line = v.Addr
 	m.value = v.Value
-	s.post(nd.id, home, network.Request, network.DataPacketSize, m)
+	s.post(nd.id, home, network.Request, network.CritBackground, network.DataPacketSize, m)
 }
 
 func (s *System) sendVictimAck(home *node, line int64, to topology.NodeID) {
@@ -555,7 +573,7 @@ func (s *System) sendVictimAck(home *node, line int64, to topology.NodeID) {
 	m.kind = mkVictimAck
 	m.nd = s.nodes[to]
 	m.line = line
-	s.post(home.id, to, network.Response, network.CtlPacketSize, m)
+	s.post(home.id, to, network.Response, network.CritControl, network.CtlPacketSize, m)
 }
 
 func (s *System) victimAckArrived(nd *node, line int64) {

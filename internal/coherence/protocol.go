@@ -7,6 +7,7 @@ import (
 	"gs1280/internal/memctrl"
 	"gs1280/internal/network"
 	"gs1280/internal/sim"
+	"gs1280/internal/stats"
 	"gs1280/internal/topology"
 	"gs1280/internal/trace"
 )
@@ -32,6 +33,15 @@ type Params struct {
 	NAKThreshold int
 	// RetryBackoff is the delay before a NAKed request is resent.
 	RetryBackoff sim.Time
+	// ForceCritOn, with ForceCrit, overrides every outgoing packet's
+	// criticality with one fixed class and routes background memory
+	// writes through the demand path. It exists for the differential
+	// harness: with every packet in one criticality, criticality-aware
+	// arbitration must be byte-identical to FIFO, and this knob is how
+	// the golden replays force that configuration on protocol traffic
+	// (whose tags are otherwise intrinsic to the message types).
+	ForceCritOn bool
+	ForceCrit   network.Criticality
 
 	// Cache geometry.
 	L1Bytes, L2Bytes int64
@@ -301,6 +311,11 @@ type System struct {
 	// freeMsgs pools the protocol's message/transaction records (see
 	// messages.go); steady state recycles a few dozen.
 	freeMsgs []*msg
+
+	// missHist is the machine-wide L2-miss latency distribution for the
+	// current stats window, recorded on the same zero-alloc completion
+	// path as the per-node mean counters (recordMiss).
+	missHist stats.Histogram
 }
 
 // SetTrace attaches a trace buffer; protocol transactions are recorded
@@ -360,8 +375,15 @@ func (s *System) ZboxUtilization(n topology.NodeID) float64 {
 // Zbox exposes controller ctl of node n for fine-grained inspection.
 func (s *System) Zbox(n topology.NodeID, ctl int) *memctrl.Controller { return s.nodes[n].z[ctl] }
 
-// ResetStats clears per-node counters and Zbox intervals (the network has
-// its own ResetStats).
+// MissLatencyHist reports the machine-wide miss-latency histogram
+// (picoseconds) for the current stats window. Like the network's
+// histograms, a miss in flight across a window boundary is recorded once,
+// in the window where it completes. The pointer stays owned by the
+// system; callers read or Merge from it.
+func (s *System) MissLatencyHist() *stats.Histogram { return &s.missHist }
+
+// ResetStats clears per-node counters, the miss-latency histogram and
+// Zbox intervals (the network has its own ResetStats).
 func (s *System) ResetStats() {
 	for _, nd := range s.nodes {
 		nd.stats = NodeStats{}
@@ -370,6 +392,7 @@ func (s *System) ResetStats() {
 		nd.l1.ResetStats()
 		nd.l2.ResetStats()
 	}
+	s.missHist.Reset()
 }
 
 // Access performs one load (write=false) or store (write=true) of the line
@@ -471,7 +494,7 @@ func (s *System) sendRequest(nd *node, line int64, write bool) {
 	m.nd = s.nodes[home]
 	m.from = nd.id
 	m.line = line
-	s.post(nd.id, home, network.Request, network.CtlPacketSize, m)
+	s.post(nd.id, home, network.Request, network.CritDemand, network.CtlPacketSize, m)
 }
 
 // homeReceive is the arrival point for requests and victims at a home.
@@ -501,7 +524,7 @@ func (s *System) sendNAK(home *node, line int64, hm homeMsg) {
 	m.nd = s.nodes[hm.from]
 	m.line = line
 	m.mod = hm.kind == msgReadMod
-	s.post(home.id, hm.from, network.Response, network.CtlPacketSize, m)
+	s.post(home.id, hm.from, network.Response, network.CritControl, network.CtlPacketSize, m)
 }
 
 // dispatch begins processing one transaction; the entry is marked busy
@@ -596,7 +619,7 @@ func (s *System) processVictim(home *node, line int64, ctl int, e *dirEntry, hm 
 		m.e = e
 		m.from = hm.from
 		m.value = hm.value
-		m.t.ScheduleAt(home.z[ctl].AccessAt(line, true))
+		m.t.ScheduleAt(s.zboxBgWriteAt(home, ctl, line))
 		return
 	}
 	s.sendVictimAck(home, line, hm.from)

@@ -44,7 +44,7 @@ func AblationLoadTest(outstanding []int, warm, measure sim.Time) *Table {
 	for _, v := range variants {
 		cfg := v.cfg
 		for _, p := range loadTest(func() machine.Machine {
-			return machine.NewGS1280(cfg)
+			return newGS1280(cfg)
 		}, outstanding, warm, measure) {
 			bw, lat := loadCells(p)
 			t.AddRow(v.name, fmt.Sprintf("%d", p.Outstanding), bw, lat)
@@ -53,9 +53,9 @@ func AblationLoadTest(outstanding []int, warm, measure sim.Time) *Table {
 	// The open-page policy only matters for sequential traffic (random
 	// load-test reads miss pages regardless), so it is ablated with a
 	// 64-byte-stride chase instead.
-	open := chaseLatency(machine.NewGS1280(machine.GS1280Config{W: 2, H: 1}),
+	open := chaseLatency(newGS1280(machine.GS1280Config{W: 2, H: 1}),
 		8<<20, 64, 60000)
-	closed := chaseLatency(machine.NewGS1280(machine.GS1280Config{W: 2, H: 1,
+	closed := chaseLatency(newGS1280(machine.GS1280Config{W: 2, H: 1,
 		ZboxOverride: func(p *memctrl.Params) { p.HitLatency = p.MissLatency }}),
 		8<<20, 64, 60000)
 	t.AddRow("open-page (chase)", "-", "-", fns(open))

@@ -109,7 +109,7 @@ func appTable(id, title, unitName string, c appClass, unit float64, counts []int
 	}
 	for _, n := range counts {
 		w, h := machine.StandardShape(n)
-		gs := machine.NewGS1280(machine.GS1280Config{W: w, H: h, RegionBytes: 32 << 20})
+		gs := newGS1280(machine.GS1280Config{W: w, H: h, RegionBytes: 32 << 20})
 		gsRate := appRate(gs, n, c, warm, measure) / unit
 
 		// SC45: ES45 nodes over Quadrics; halo exchanges stay in-node for
@@ -192,7 +192,7 @@ func utilTable(id, title string, c appClass, note string) *Table {
 		Title:  title,
 		Header: []string{"t (us)", "memory ctl %", "IP links %"},
 	}
-	m := machine.NewGS1280(machine.GS1280Config{W: 4, H: 4, RegionBytes: 32 << 20})
+	m := newGS1280(machine.GS1280Config{W: 4, H: 4, RegionBytes: 32 << 20})
 	warmFootprints(m, 16, c)
 	s := perfmon.NewSampler(m, 10*sim.Microsecond)
 	for i, st := range mixStreams(m, 16, c) {
@@ -234,7 +234,7 @@ func Fig23GUPS(counts []int, warm, measure sim.Time) *Table {
 // row of Fig 23, independently runnable on env's reusable engines.
 func fig23Row(env *Env, n int, warm, measure sim.Time) Part {
 	w, h := machine.StandardShape(n)
-	gs := machine.NewGS1280(machine.GS1280Config{W: w, H: h, RegionBytes: 16 << 20, Eng: env.Engine()})
+	gs := newGS1280(machine.GS1280Config{W: w, H: h, RegionBytes: 16 << 20, Eng: env.Engine()})
 	gsRate := gupsRate(gs, n, warm, measure)
 
 	old := "-"
@@ -311,7 +311,7 @@ func Fig24GUPSUtil() *Table {
 		Title:  "GUPS on 32P GS1280: memory and per-direction link utilization",
 		Header: []string{"t (us)", "memory ctl %", "N/S links %", "E/W links %"},
 	}
-	m := machine.NewGS1280(machine.GS1280Config{W: 8, H: 4, RegionBytes: 16 << 20})
+	m := newGS1280(machine.GS1280Config{W: 8, H: 4, RegionBytes: 16 << 20})
 	s := perfmon.NewSampler(m, 10*sim.Microsecond)
 	total := int64(32) * m.RegionBytes()
 	for i := 0; i < 32; i++ {

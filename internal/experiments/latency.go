@@ -42,7 +42,7 @@ func Fig12RemoteLatency() *Table {
 		Title:  "Local/remote latency from CPU0 on 16 CPUs (ns)",
 		Header: []string{"target", "GS1280", "GS320"},
 	}
-	gs := machine.NewGS1280(machine.GS1280Config{W: 4, H: 4})
+	gs := newGS1280(machine.GS1280Config{W: 4, H: 4})
 	old := machine.NewSMP(machine.GS320Config(16))
 	var gsSum, oldSum, gsDirtySum, oldDirtySum float64
 	for i := 0; i < 16; i++ {
@@ -75,7 +75,7 @@ func Fig13LatencyMatrix() *Table {
 		Title:  "GS1280 remote latencies (ns) from node 0 on a 4x4 torus",
 		Header: []string{"row", "x=0", "x=1", "x=2", "x=3"},
 	}
-	gs := machine.NewGS1280(machine.GS1280Config{W: 4, H: 4})
+	gs := newGS1280(machine.GS1280Config{W: 4, H: 4})
 	for y := 0; y < 4; y++ {
 		row := []string{fmt.Sprintf("y=%d", y)}
 		for x := 0; x < 4; x++ {
@@ -108,7 +108,7 @@ func Fig14AvgLatency(counts []int) *Table {
 // runnable on env's reusable engines.
 func fig14Row(env *Env, n int) Part {
 	w, h := machine.StandardShape(n)
-	gs := machine.NewGS1280(machine.GS1280Config{W: w, H: h, Eng: env.Engine()})
+	gs := newGS1280(machine.GS1280Config{W: w, H: h, Eng: env.Engine()})
 	var sum float64
 	for i := 0; i < n; i++ {
 		sum += ReadLatency(gs, 0, i).Nanoseconds()
@@ -234,7 +234,7 @@ func fig15Configs() []fig15Config {
 		n := n
 		w, h := machine.StandardShape(n)
 		cfgs = append(cfgs, fig15Config{fmt.Sprintf("GS1280/%dP", n), func(env *Env) machine.Machine {
-			return machine.NewGS1280(machine.GS1280Config{W: w, H: h, NAKThreshold: 8, Eng: env.Engine()})
+			return newGS1280(machine.GS1280Config{W: w, H: h, NAKThreshold: 8, Eng: env.Engine()})
 		}})
 	}
 	for _, n := range []int{16, 32} {

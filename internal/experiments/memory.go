@@ -37,7 +37,7 @@ func Fig04DependentLoad(sizes []int64) *Table {
 // reusable engines.
 func fig04Row(env *Env, size int64) Part {
 	const measureOps = 60000
-	gs := machine.NewGS1280(machine.GS1280Config{W: 2, H: 1, Eng: env.Engine()})
+	gs := newGS1280(machine.GS1280Config{W: 2, H: 1, Eng: env.Engine()})
 	esCfg := machine.ES45Config()
 	esCfg.Eng = env.Engine()
 	es := machine.NewSMP(esCfg)
@@ -112,7 +112,7 @@ func Fig05StrideSweep(sizes, strides []int64) *Table {
 				row = append(row, "-")
 				continue
 			}
-			gs := machine.NewGS1280(machine.GS1280Config{W: 2, H: 1})
+			gs := newGS1280(machine.GS1280Config{W: 2, H: 1})
 			row = append(row, fns(chaseLatency(gs, size, stride, measureOps)))
 		}
 		t.AddRow(row...)
@@ -170,7 +170,7 @@ func Fig06StreamScaling(counts []int) *Table {
 	warm, measure := 20*sim.Microsecond, 100*sim.Microsecond
 	for _, n := range counts {
 		w, h := machine.StandardShape(n)
-		gs := machine.NewGS1280(machine.GS1280Config{W: w, H: h, RegionBytes: 32 << 20})
+		gs := newGS1280(machine.GS1280Config{W: w, H: h, RegionBytes: 32 << 20})
 		gsBW := triadBandwidth(gs, n, arrayBytes, warm, measure)
 
 		sc := "-"
@@ -212,7 +212,7 @@ func Fig07Stream1v4() *Table {
 		t.AddRow(name, f2(b1), f2(b4), f2(b4/b1))
 	}
 	row("GS1280/1.15GHz", func() machine.Machine {
-		return machine.NewGS1280(machine.GS1280Config{W: 2, H: 2, RegionBytes: 32 << 20})
+		return newGS1280(machine.GS1280Config{W: 2, H: 2, RegionBytes: 32 << 20})
 	})
 	row("ES45/1.25GHz", func() machine.Machine { return machine.NewSMP(machine.ES45Config()) })
 	row("GS320/1.2GHz", func() machine.Machine { return machine.NewSMP(machine.GS320Config(4)) })

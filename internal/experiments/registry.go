@@ -218,6 +218,9 @@ func Specs() []Spec {
 		saturSpec("satur-hotspot"),
 		degradedSaturSpec(),
 		degradedMapSpec(),
+		tailSaturSpec(),
+		tailDegradedSpec(),
+		tailMissSpec(),
 		whole("ablation", func(q bool) *Table {
 			if q {
 				return AblationLoadTest([]int{4, 30}, quickWarm, quickMeasure)

@@ -70,6 +70,12 @@ func saturRunPrep(eng *sim.Engine, topo *topology.Topology, policy topology.Rout
 	params := network.DefaultParams()
 	params.Policy = policy
 	params.DisableAdaptive = disableAdaptive
+	if critDiff.on {
+		// Golden differential: arbitration on, but the open-loop injectors
+		// here use a zero criticality mix, so every packet is CritDemand
+		// and the arbiter must reduce to FIFO.
+		params.CritArb = true
+	}
 	net := network.New(eng, topo, params)
 	if prep != nil {
 		prep(net)

@@ -82,7 +82,7 @@ func Fig18ShuffleMeasured(outstanding []int, warm, measure sim.Time) *Table {
 	for _, cfg := range configs {
 		cfg := cfg
 		pts := loadTest(func() machine.Machine {
-			return machine.NewGS1280(machine.GS1280Config{
+			return newGS1280(machine.GS1280Config{
 				W: 4, H: 2, Shuffle: cfg.shuffle, Policy: cfg.policy,
 			})
 		}, outstanding, warm, measure)

@@ -16,7 +16,7 @@ import (
 func hotSpotCurve(striped bool, outstanding []int, warm, measure sim.Time) []LoadPoint {
 	var pts []LoadPoint
 	for _, k := range outstanding {
-		m := machine.NewGS1280(machine.GS1280Config{W: 4, H: 4, Striped: striped})
+		m := newGS1280(machine.GS1280Config{W: 4, H: 4, Striped: striped})
 		ss := make([]cpu.Stream, m.N())
 		for i := 1; i < m.N(); i++ {
 			m.CPU(i).SetMLP(k)
@@ -86,7 +86,7 @@ func Fig27Xmesh() *Table {
 		Title:  "Xmesh with a hot-spot (16P GS1280, all CPUs reading CPU0)",
 		Header: []string{"CPU", "Zbox %", "IP links %"},
 	}
-	m := machine.NewGS1280(machine.GS1280Config{W: 4, H: 4})
+	m := newGS1280(machine.GS1280Config{W: 4, H: 4})
 	s := perfmon.NewSampler(m, 30*sim.Microsecond)
 	for i := 1; i < m.N(); i++ {
 		m.CPU(i).Run(workload.NewHotSpot(m.RegionBase(0), m.RegionBytes(), 1<<30, uint64(i*31+5)), nil)

@@ -31,19 +31,19 @@ func Fig28Summary(warm, measure sim.Time) *Table {
 	// --- System components ---
 	t.AddRow("CPU speed", f2(1.15/1.22))
 
-	gs1 := machine.NewGS1280(machine.GS1280Config{W: 2, H: 1, RegionBytes: 32 << 20})
+	gs1 := newGS1280(machine.GS1280Config{W: 2, H: 1, RegionBytes: 32 << 20})
 	old1 := machine.NewSMP(machine.GS320Config(4))
 	bw1 := triadBandwidth(gs1, 1, 8<<20, warm, measure)
 	obw1 := triadBandwidth(old1, 1, 8<<20, warm, measure)
 	t.AddRow("memory copy bw (1P)", f2(bw1/obw1))
 
-	gs32 := machine.NewGS1280(machine.GS1280Config{W: 8, H: 4, RegionBytes: 32 << 20})
+	gs32 := newGS1280(machine.GS1280Config{W: 8, H: 4, RegionBytes: 32 << 20})
 	old32 := machine.NewSMP(machine.GS320Config(32))
 	bw32 := triadBandwidth(gs32, 32, 8<<20, warm, measure)
 	obw32 := triadBandwidth(old32, 32, 8<<20, warm, measure)
 	t.AddRow("memory copy bw (32P)", f2(bw32/obw32))
 
-	gsLat := machine.NewGS1280(machine.GS1280Config{W: 4, H: 4})
+	gsLat := newGS1280(machine.GS1280Config{W: 4, H: 4})
 	oldLat := machine.NewSMP(machine.GS320Config(16))
 	t.AddRow("memory latency (local)",
 		f2(ReadLatency(oldLat, 0, 0).Nanoseconds()/ReadLatency(gsLat, 0, 0).Nanoseconds()))
@@ -53,7 +53,7 @@ func Fig28Summary(warm, measure sim.Time) *Table {
 	// IP bandwidth: peak delivered in the random load test at 16
 	// outstanding per CPU.
 	ipGS := loadTest(func() machine.Machine {
-		return machine.NewGS1280(machine.GS1280Config{W: 8, H: 4})
+		return newGS1280(machine.GS1280Config{W: 8, H: 4})
 	}, []int{16}, warm, measure)
 	ipOld := loadTest(func() machine.Machine {
 		return machine.NewSMP(machine.GS320Config(32))
@@ -76,17 +76,17 @@ func Fig28Summary(warm, measure sim.Time) *Table {
 		f2(specmodel.FPRate(gsM, 16)/specmodel.FPRate(oldM, 16)))
 
 	// --- Application classes (simulated) ---
-	gsSP := machine.NewGS1280(machine.GS1280Config{W: 4, H: 4, RegionBytes: 32 << 20})
+	gsSP := newGS1280(machine.GS1280Config{W: 4, H: 4, RegionBytes: 32 << 20})
 	oldSP := machine.NewSMP(machine.GS320Config(16))
 	t.AddRow("NAS Parallel (16P)",
 		f2(appRate(gsSP, 16, spClass, warm, measure)/appRate(oldSP, 16, spClass, warm, measure)))
 
-	gsFl := machine.NewGS1280(machine.GS1280Config{W: 8, H: 4, RegionBytes: 32 << 20})
+	gsFl := newGS1280(machine.GS1280Config{W: 8, H: 4, RegionBytes: 32 << 20})
 	oldFl := machine.NewSMP(machine.GS320Config(32))
 	t.AddRow("Fluent (32P, CFD)",
 		f2(appRate(gsFl, 32, fluentClass, warm, measure)/appRate(oldFl, 32, fluentClass, warm, measure)))
 
-	gsG := machine.NewGS1280(machine.GS1280Config{W: 8, H: 4, RegionBytes: 16 << 20})
+	gsG := newGS1280(machine.GS1280Config{W: 8, H: 4, RegionBytes: 16 << 20})
 	oldG := machine.NewSMP(machine.GS320Config(32))
 	t.AddRow("GUPS (32P)", f2(gupsRate(gsG, 32, warm, measure)/gupsRate(oldG, 32, warm, measure)))
 

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gs1280/internal/machine"
+	"gs1280/internal/network"
+	"gs1280/internal/sim"
+	"gs1280/internal/topology"
+	"gs1280/internal/traffic"
+	"gs1280/internal/workload"
+)
+
+// The tail-* experiments measure what the mean-latency sweeps hide: the
+// latency distribution's tail, and what criticality-aware arbitration does
+// to it. The paper's own methodology reports means (Figs 12-15); modern
+// service-level analysis lives at p99 and beyond, so this family sweeps
+// offered load with a mixed-criticality packet population and compares
+// plain FIFO arbitration against the criticality+age policy — on a healthy
+// fabric (tail-satur), with failed wrap cables (tail-degraded), and at the
+// machine level where the metric that matters is L2-miss latency
+// (tail-miss). With arbitration off the simulations are bit-identical to
+// the pre-criticality model; the runner's golden tests pin that.
+
+// tailBgFrac and tailCtlFrac set the injected criticality mix: roughly the
+// writeback-to-demand ratio a write-allocate cache produces, plus a thin
+// control stream.
+const (
+	tailBgFrac  = 0.30
+	tailCtlFrac = 0.10
+)
+
+// tailVariant is one arbitration policy of a tail sweep.
+type tailVariant struct {
+	name    string
+	critArb bool
+}
+
+var tailVariants = []tailVariant{
+	{"fifo", false},
+	{"crit", true},
+}
+
+// tailDegradedLevels are the fault levels of tail-degraded. Healthy rows
+// live in tail-satur, so the sweep starts at one failed cable.
+var tailDegradedLevels = []int{1, 2}
+
+// fq formats a picosecond quantile as nanoseconds for a table cell.
+func fq(ps int64) string { return f1(float64(ps) / 1000) }
+
+// tailRun executes one mixed-criticality offered-load point: uniform
+// traffic with the tail mix on an 8x8 torus network, arbitration per
+// variant, plus level failed cables armed during warmup (level 0 schedules
+// nothing).
+func tailRun(eng *sim.Engine, critArb bool, level int, ratePerUs float64,
+	warm, measure sim.Time, seed uint64) traffic.Result {
+	topo := topology.NewTorus(8, 8)
+	params := network.DefaultParams()
+	params.CritArb = critArb
+	net := network.New(eng, topo, params)
+	if level > 0 {
+		scheduleFaults(net, topo, level, warm)
+	}
+	return traffic.Run(net, traffic.Config{
+		Pattern: traffic.Uniform(),
+		Rate:    ratePerUs / 1000, // table rates are per us; traffic wants per ns
+		Class:   network.Request,
+		Size:    network.DataPacketSize,
+		Seed:    seed,
+		Warmup:  warm,
+		Measure: measure,
+		BgFrac:  tailBgFrac,
+		CtlFrac: tailCtlFrac,
+	})
+}
+
+// tailPoint measures one (variant, rate) sample — one row, independently
+// runnable. withLevel adds the failed-cables column tail-degraded carries.
+func tailPoint(env *Env, level int, withLevel bool, v tailVariant, vi, ri int,
+	ratePerUs float64, warm, measure sim.Time) Part {
+	res := tailRun(env.Engine(), v.critArb, level, ratePerUs, warm, measure,
+		uint64(vi*104729+ri*7919+1))
+	row := []string{v.name}
+	if withLevel {
+		row = append(row, fmt.Sprintf("%d", level))
+	}
+	row = append(row,
+		fmt.Sprintf("%g", ratePerUs),
+		f1(res.DeliveredMBs()),
+		f1(res.AvgLatencyNs()),
+		fq(res.Lat.P50), fq(res.Lat.P95), fq(res.Lat.P99), fq(res.Lat.P999),
+		fq(res.DemandLat.P99), fq(res.BgLat.P99),
+		fq(res.QueueRes.P50), fq(res.QueueRes.P99), fq(res.QueueRes.P999),
+	)
+	return Part{Rows: [][]string{row}}
+}
+
+// tailHeader builds the shared column set of the open-loop tail sweeps.
+func tailHeader(withLevel bool) []string {
+	h := []string{"arbitration"}
+	if withLevel {
+		h = append(h, "failed cables")
+	}
+	return append(h,
+		"offered pkts/node/us", "delivered MB/s", "avg lat ns",
+		"p50 ns", "p95 ns", "p99 ns", "p99.9 ns",
+		"demand p99 ns", "bg p99 ns",
+		"queue p50 ns", "queue p99 ns", "queue p99.9 ns")
+}
+
+// tailSaturSpec exposes the healthy-fabric tail sweep as one unit per
+// (arbitration, rate) point.
+func tailSaturSpec() Spec {
+	plan := func(q bool) ([]float64, sim.Time, sim.Time) {
+		if q {
+			return saturQuickRates, quickWarm, quickMeasure
+		}
+		return SaturRates, 15 * sim.Microsecond, 40 * sim.Microsecond
+	}
+	return Spec{
+		ID: "tail-satur",
+		Units: func(q bool) []Unit {
+			rates, warm, measure := plan(q)
+			type point struct {
+				v         tailVariant
+				vi, ri    int
+				ratePerUs float64
+			}
+			var points []point
+			for vi, v := range tailVariants {
+				for ri, r := range rates {
+					points = append(points, point{v: v, vi: vi, ri: ri, ratePerUs: r})
+				}
+			}
+			return sweepUnits(points,
+				func(p point) string { return fmt.Sprintf("tail-satur[%s,r=%g]", p.v.name, p.ratePerUs) },
+				func(env *Env, p point) Part {
+					return tailPoint(env, 0, false, p.v, p.vi, p.ri, p.ratePerUs, warm, measure)
+				})
+		},
+		Assemble: func(_ bool, parts []Part) *Table {
+			t := assemble(&Table{
+				ID:     "tail-satur",
+				Title:  "Tail latency vs offered load: mixed-criticality uniform traffic on the 64P (8x8) torus",
+				Header: tailHeader(false),
+			}, parts)
+			t.AddNote("fifo rows are bit-identical to the pre-criticality arbiter; crit rows prefer demand packets within a class")
+			t.AddNote("prioritization buys its p99 at the background class's expense — compare demand p99 against bg p99")
+			return t
+		},
+	}
+}
+
+// tailDegradedSpec exposes the degraded-fabric tail sweep as one unit per
+// (faults, arbitration, rate) point.
+func tailDegradedSpec() Spec {
+	plan := func(q bool) ([]float64, sim.Time, sim.Time) {
+		if q {
+			return saturQuickRates, quickWarm, quickMeasure
+		}
+		return SaturRates, 15 * sim.Microsecond, 40 * sim.Microsecond
+	}
+	return Spec{
+		ID: "tail-degraded",
+		Units: func(q bool) []Unit {
+			rates, warm, measure := plan(q)
+			type point struct {
+				level, vi, ri int
+				v             tailVariant
+				ratePerUs     float64
+			}
+			var points []point
+			for _, level := range tailDegradedLevels {
+				for vi, v := range tailVariants {
+					for ri, r := range rates {
+						points = append(points, point{level: level, vi: vi, ri: ri, v: v, ratePerUs: r})
+					}
+				}
+			}
+			return sweepUnits(points,
+				func(p point) string {
+					return fmt.Sprintf("tail-degraded[f=%d,%s,r=%g]", p.level, p.v.name, p.ratePerUs)
+				},
+				func(env *Env, p point) Part {
+					return tailPoint(env, p.level, true, p.v, p.vi, p.ri, p.ratePerUs, warm, measure)
+				})
+		},
+		Assemble: func(_ bool, parts []Part) *Table {
+			t := assemble(&Table{
+				ID:     "tail-degraded",
+				Title:  "Tail latency on a degraded fabric: mixed-criticality uniform traffic, 8x8 torus, failed wrap cables",
+				Header: tailHeader(true),
+			}, parts)
+			t.AddNote("faults land mid-warmup (the degraded-satur schedule); detour queues stretch the tail before the mean moves")
+			t.AddNote("healthy baselines are tail-satur's rows; same seeds, so columns compare point for point")
+			return t
+		},
+	}
+}
+
+// tailMissCounts is the machine-size sweep of tail-miss.
+var tailMissCounts = []int{16, 32}
+
+// tailMissPoint measures miss-latency quantiles for GUPS on one GS1280
+// size, with criticality-aware arbitration per variant — the machine-level
+// view where prioritizing demand misses over victim writebacks is supposed
+// to pay off.
+func tailMissPoint(env *Env, n int, v tailVariant, warm, measure sim.Time) Part {
+	w, h := machine.StandardShape(n)
+	m := newGS1280(machine.GS1280Config{
+		W: w, H: h, RegionBytes: 16 << 20, CritArb: v.critArb, Eng: env.Engine(),
+	})
+	total := int64(n) * m.RegionBytes()
+	for i := 0; i < n; i++ {
+		m.CPU(i).Run(workload.NewGUPS(0, total, 1<<30, uint64(i*104729+7)), nil)
+	}
+	eng := m.Engine()
+	begin := eng.Now()
+	eng.RunUntil(begin + warm)
+	m.ResetStats() // histograms reset with the counters: the window is the measure interval
+	t0 := eng.Now()
+	eng.RunUntil(begin + warm + measure)
+	var ops uint64
+	for i := 0; i < n; i++ {
+		ops += m.CPU(i).Stats().Ops
+	}
+	rate := 0.0
+	if iv := eng.Now() - t0; iv > 0 {
+		rate = float64(ops) / iv.Seconds() / 1e6
+	}
+	miss := m.Coh.MissLatencyHist().Quantiles()
+	packet := m.Net.PacketLatency()
+	pq := packet.Quantiles()
+	res := m.Net.ResidencyHist().Quantiles()
+	return Part{Rows: [][]string{{
+		fmt.Sprintf("%d", n),
+		v.name,
+		f1(rate),
+		fq(miss.P50), fq(miss.P95), fq(miss.P99), fq(miss.P999),
+		fq(pq.P50), fq(pq.P99),
+		fq(res.P99),
+	}}}
+}
+
+// tailMissSpec exposes the machine-level sweep as one unit per
+// (size, arbitration) cell.
+func tailMissSpec() Spec {
+	plan := func(q bool) ([]int, sim.Time, sim.Time) {
+		if q {
+			return []int{16}, quickWarm, quickMeasure
+		}
+		return tailMissCounts, 20 * sim.Microsecond, 80 * sim.Microsecond
+	}
+	return Spec{
+		ID: "tail-miss",
+		Units: func(q bool) []Unit {
+			counts, warm, measure := plan(q)
+			type cell struct {
+				n int
+				v tailVariant
+			}
+			var cells []cell
+			for _, n := range counts {
+				for _, v := range tailVariants {
+					cells = append(cells, cell{n, v})
+				}
+			}
+			return sweepUnits(cells,
+				func(c cell) string { return fmt.Sprintf("tail-miss[%dp,%s]", c.n, c.v.name) },
+				func(env *Env, c cell) Part { return tailMissPoint(env, c.n, c.v, warm, measure) })
+		},
+		Assemble: func(_ bool, parts []Part) *Table {
+			t := assemble(&Table{
+				ID:    "tail-miss",
+				Title: "GUPS on GS1280: L2-miss and packet latency tails, FIFO vs criticality-aware arbitration",
+				Header: []string{"CPUs", "arbitration", "GUPS Mup/s",
+					"miss p50 ns", "miss p95 ns", "miss p99 ns", "miss p99.9 ns",
+					"packet p50 ns", "packet p99 ns", "queue p99 ns"},
+			}, parts)
+			t.AddNote("fifo rows replay the pre-criticality machine bit for bit (the runner's golden tests pin this)")
+			t.AddNote("crit arbitration defers victim/sharing writebacks behind demand misses in routers and memory controllers")
+			return t
+		},
+	}
+}
+
+// TailIDs lists the tail-latency experiments.
+func TailIDs() []string { return []string{"tail-satur", "tail-degraded", "tail-miss"} }

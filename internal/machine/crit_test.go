@@ -1,0 +1,75 @@
+package machine
+
+import (
+	"testing"
+
+	"gs1280/internal/coherence"
+	"gs1280/internal/cpu"
+	"gs1280/internal/network"
+	"gs1280/internal/sim"
+)
+
+// critWorkload drives a sharing-heavy mix on a 4x4 GS1280 — remote reads,
+// read-modifies and enough cache pressure to evict victims — and returns
+// the final simulated instant plus each CPU's (ops, mean latency) pair:
+// a fingerprint that differs if any arbitration decision moved.
+func critWorkload(t *testing.T, cfg GS1280Config) (sim.Time, []float64) {
+	t.Helper()
+	m := NewGS1280(cfg)
+	for i := range m.CPUs {
+		rng := sim.NewRNG(uint64(100 + i))
+		ops := make([]cpu.Op, 400)
+		for j := range ops {
+			owner := rng.Intn(len(m.CPUs))
+			ops[j] = cpu.Op{
+				Addr:      m.RegionBase(owner) + int64(rng.Intn(1<<14))*64,
+				Write:     rng.Intn(3) == 0,
+				Dependent: rng.Intn(2) == 0,
+			}
+		}
+		m.CPUs[i].Run(&opList{ops: ops}, nil)
+	}
+	m.Eng.Run()
+	if err := m.Coh.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after crit workload: %v", err)
+	}
+	if m.Coh.MissLatencyHist().Count() == 0 {
+		t.Fatal("workload produced no miss-latency samples")
+	}
+	sig := make([]float64, 0, 2*len(m.CPUs))
+	for _, c := range m.CPUs {
+		st := c.Stats()
+		sig = append(sig, float64(st.Ops), float64(st.AvgLatency()))
+	}
+	return m.Eng.Now(), sig
+}
+
+// TestGS1280CritArbForcedClassIdentity is the machine-level differential:
+// with CritArb on but every protocol packet forced into one criticality
+// (and background memory writes flattened with them), the full run —
+// final time and every CPU's latency profile — must be bit-identical to
+// the flag-off machine. Only genuinely mixed criticalities may change
+// behavior.
+func TestGS1280CritArbForcedClassIdentity(t *testing.T) {
+	baseEnd, baseSig := critWorkload(t, GS1280Config{W: 4, H: 4})
+	for _, crit := range []network.Criticality{network.CritDemand, network.CritBackground} {
+		forced := crit
+		end, sig := critWorkload(t, GS1280Config{W: 4, H: 4, CritArb: true,
+			CohOverride: func(p *coherence.Params) {
+				p.ForceCritOn = true
+				p.ForceCrit = forced
+			}})
+		if end != baseEnd {
+			t.Fatalf("forced-%v run ends at %v, flag-off at %v", forced, end, baseEnd)
+		}
+		for i := range baseSig {
+			if sig[i] != baseSig[i] {
+				t.Fatalf("forced-%v run diverges from flag-off at signature index %d: %v vs %v",
+					forced, i, sig[i], baseSig[i])
+			}
+		}
+	}
+	// The real mixed-criticality machine must still be a valid machine
+	// (invariants, histograms) even when its schedule differs.
+	critWorkload(t, GS1280Config{W: 4, H: 4, CritArb: true})
+}

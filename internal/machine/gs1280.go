@@ -46,6 +46,13 @@ type GS1280Config struct {
 	// NAKThreshold enables home-controller NAK/retry (Fig 15's
 	// beyond-saturation behaviour). Zero disables.
 	NAKThreshold int
+	// CritArb enables criticality-aware arbitration machine-wide: router
+	// output ports prefer demand-miss packets within a virtual-channel
+	// class, and memory controllers defer victim/sharing writebacks
+	// behind bus backlog. Off by default; with it off the machine is
+	// bit-identical to the pre-criticality model (the tail-* experiments
+	// sweep both settings).
+	CritArb bool
 
 	// NetOverride, CohOverride and ZboxOverride adjust the substrate
 	// parameters after defaults are applied; used by ablation studies.
@@ -110,6 +117,7 @@ func NewGS1280(cfg GS1280Config) *GS1280 {
 	}
 	netParams := network.DefaultParams()
 	netParams.Policy = cfg.Policy
+	netParams.CritArb = cfg.CritArb
 	if cfg.NetOverride != nil {
 		cfg.NetOverride(&netParams)
 	}
@@ -127,6 +135,7 @@ func NewGS1280(cfg GS1280Config) *GS1280 {
 		amap = coherence.NewAddressMap(topo.N(), cfg.RegionBytes, cohParams.LineBytes)
 	}
 	zboxParams := memctrl.DefaultParams()
+	zboxParams.CritAware = cfg.CritArb
 	if cfg.ZboxOverride != nil {
 		cfg.ZboxOverride(&zboxParams)
 	}

@@ -1,0 +1,84 @@
+package memctrl
+
+import (
+	"testing"
+
+	"gs1280/internal/sim"
+)
+
+func newCritCtl(aware bool) (*sim.Engine, *Controller) {
+	eng := sim.NewEngine()
+	p := DefaultParams()
+	p.CritAware = aware
+	return eng, New(eng, p)
+}
+
+// TestAccessBgIdentityWhenDisabled is the memory-controller half of the
+// differential contract: with CritAware off, AccessBgAt must schedule
+// bit-identically to AccessAt under an arbitrary interleaving.
+func TestAccessBgIdentityWhenDisabled(t *testing.T) {
+	_, plain := newCritCtl(false)
+	_, bg := newCritCtl(false)
+	rng := sim.NewRNG(13)
+	for i := 0; i < 2000; i++ {
+		addr := int64(rng.Intn(1 << 20))
+		write := rng.Intn(2) == 1
+		if got, want := bg.AccessBgAt(addr, write), plain.AccessAt(addr, write); got != want {
+			t.Fatalf("access %d: AccessBgAt = %v, AccessAt = %v with CritAware off", i, got, want)
+		}
+	}
+}
+
+// TestAccessBgIdentityOnIdleBus checks the second reduction: even with
+// CritAware on, a background access against an idle bus pays exactly the
+// demand price — the deferral only bites under contention.
+func TestAccessBgIdentityOnIdleBus(t *testing.T) {
+	_, aware := newCritCtl(true)
+	_, plain := newCritCtl(false)
+	if got, want := aware.AccessBgAt(0, true), plain.AccessAt(0, true); got != want {
+		t.Fatalf("idle-bus background access %v, demand %v", got, want)
+	}
+}
+
+// TestAccessBgDefersBehindBacklog checks the knob itself: with CritAware
+// on and a queued bus, a background access completes later than the
+// identical demand access would, by exactly the backlog it yields to.
+func TestAccessBgDefersBehindBacklog(t *testing.T) {
+	_, aware := newCritCtl(true)
+	_, plain := newCritCtl(false)
+	// Pile up a backlog on both buses identically.
+	for i := 0; i < 16; i++ {
+		aware.AccessAt(int64(i*64), false)
+		plain.AccessAt(int64(i*64), false)
+	}
+	backlog := aware.bus.QueueDelay()
+	if backlog <= 0 {
+		t.Fatal("no bus backlog; test needs contention")
+	}
+	bgDone := aware.AccessBgAt(1<<20, true)
+	demandDone := plain.AccessAt(1<<20, true)
+	if bgDone <= demandDone {
+		t.Fatalf("background completes at %v, not after demand %v despite backlog %v",
+			bgDone, demandDone, backlog)
+	}
+	if got, want := bgDone-demandDone, backlog; got != want {
+		t.Fatalf("background deferral %v, want one extra backlog %v", got, want)
+	}
+	// Demand traffic on the aware controller is untouched by the flag.
+	if a, p := aware.AccessAt(1<<21, false), plain.AccessAt(1<<21, false); a < p {
+		t.Fatalf("demand access on CritAware controller at %v earlier than baseline %v", a, p)
+	}
+}
+
+// TestAccessBgAtZeroAlloc keeps the background path on the coherence
+// layer's zero-alloc budget alongside AccessAt.
+func TestAccessBgAtZeroAlloc(t *testing.T) {
+	_, c := newCritCtl(true)
+	addr := int64(0)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.AccessBgAt(addr, true)
+		addr += 64
+	}); allocs != 0 {
+		t.Fatalf("AccessBgAt allocates %.1f allocs/op, want 0", allocs)
+	}
+}

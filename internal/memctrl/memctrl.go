@@ -38,6 +38,12 @@ type Params struct {
 	// controller the sustainable number is small, and it is what turns
 	// large-stride access into closed-page access (Fig 5).
 	MaxOpenPages int
+	// CritAware defers background accesses (victim and sharing
+	// writebacks, issued via AccessBgAt) behind the bus backlog demand
+	// traffic would add while they wait, prioritizing stall-path reads.
+	// Off by default; with it off — or with an idle bus, or with only
+	// demand traffic — scheduling is bit-identical to plain FIFO.
+	CritAware bool
 }
 
 // DefaultParams returns the GS1280 Zbox calibration: together with the
@@ -136,7 +142,7 @@ func (c *Controller) Params() Params { return c.params }
 // Params.Bandwidth.
 func (c *Controller) Access(addr int64, write bool, done func(lat sim.Time)) {
 	issued := c.eng.Now()
-	doneAt := c.schedule(addr, write)
+	doneAt := c.schedule(addr, write, false)
 	var cp *completion
 	if n := len(c.free); n > 0 {
 		cp = c.free[n-1]
@@ -157,13 +163,26 @@ func (c *Controller) Access(addr int64, write bool, done func(lat sim.Time)) {
 // its transaction record's embedded timer for the returned instant, so
 // nothing on this path touches the heap.
 func (c *Controller) AccessAt(addr int64, write bool) sim.Time {
-	return c.schedule(addr, write)
+	return c.schedule(addr, write, false)
 }
 
-// schedule performs the timing model shared by Access and AccessAt: page
-// hit/miss resolution, bus queueing, and counters. It returns the absolute
-// completion time.
-func (c *Controller) schedule(addr int64, write bool) sim.Time {
+// AccessBgAt is AccessAt for background traffic — writebacks no
+// instruction is waiting on. With Params.CritAware off it is exactly
+// AccessAt. With it on, the access yields the bus: it acquires at
+// now + 2x the current queue delay instead of joining the backlog's
+// tail, modeling demand accesses that arrive during the wait being
+// scheduled ahead of it once. The deferral is a pure function of current
+// bus state, so AccessBgAt stays synchronous, deterministic and
+// allocation-free like AccessAt — and degenerates to it whenever the bus
+// is idle or every access is demand.
+func (c *Controller) AccessBgAt(addr int64, write bool) sim.Time {
+	return c.schedule(addr, write, c.params.CritAware)
+}
+
+// schedule performs the timing model shared by Access, AccessAt and
+// AccessBgAt: page hit/miss resolution, bus queueing (deferred when
+// yield is set), and counters. It returns the absolute completion time.
+func (c *Controller) schedule(addr int64, write bool, yield bool) sim.Time {
 	row := addr / c.params.PageBytes
 	bank := c.bankOf(row)
 
@@ -182,7 +201,12 @@ func (c *Controller) schedule(addr int64, write bool) sim.Time {
 	}
 
 	transfer := sim.TransferTime(c.params.LineBytes, c.params.Bandwidth)
-	start := c.bus.Acquire(transfer)
+	var start sim.Time
+	if yield {
+		start = c.bus.AcquireAt(c.eng.Now()+2*c.bus.QueueDelay(), transfer)
+	} else {
+		start = c.bus.Acquire(transfer)
+	}
 	return start + access
 }
 

@@ -82,6 +82,7 @@ func (l *link) adaptiveFree(c Class) bool {
 // indicates the packet holds an adaptive credit (already counted by the
 // caller).
 func (l *link) enqueue(p *Packet) {
+	p.enqueuedAt = l.net.eng.Now()
 	l.queues[p.Class].push(p)
 	l.queued++
 	l.queuedBytes += p.Size
@@ -130,6 +131,7 @@ func (l *link) pump() {
 	if p == nil {
 		return
 	}
+	l.net.resHist.Record(int64(now - p.enqueuedAt))
 	ser := l.net.serTime(p.Size)
 	l.freeAt = now + ser
 	l.busy += ser
@@ -146,7 +148,10 @@ func (l *link) pump() {
 	}
 }
 
-// pop removes the highest-priority head packet, FIFO within a class.
+// pop removes the next packet to transmit. Class priority picks the queue
+// (absolute — that ordering is what keeps the coherence channels
+// deadlock-free); within the queue the order is FIFO, unless CritArb is
+// on, in which case critSelect picks by criticality and age.
 func (l *link) pop() *Packet {
 	best := -1
 	bestPrio := -1
@@ -162,10 +167,46 @@ func (l *link) pop() *Packet {
 	if best < 0 {
 		return nil
 	}
-	p := l.queues[best].pop()
+	q := &l.queues[best]
+	idx := 0
+	if l.net.params.CritArb && q.len() > 1 {
+		idx = l.critSelect(q)
+	}
+	p := q.removeAt(idx)
 	l.queued--
 	l.queuedBytes -= p.Size
 	return p
+}
+
+// critSelect picks the queue slot to transmit under criticality
+// arbitration: the earliest packet of the highest effective rank, where a
+// packet queued longer than CritAgeLimit is promoted to demand rank so a
+// demand storm cannot starve background traffic indefinitely.
+//
+// The scan is front-to-back and ties keep the earlier packet, so with all
+// packets at one effective rank it returns 0 — plain FIFO. Age promotion
+// preserves that reduction: enqueuedAt is monotone in ring order, so the
+// promoted packets are always a prefix of the queue, and a uniform-rank
+// queue stays uniform-prefix-promoted with its earliest packet still
+// winning.
+func (l *link) critSelect(q *pktRing) int {
+	now := l.net.eng.Now()
+	limit := l.net.params.CritAgeLimit
+	bestIdx, bestRank := 0, -1
+	for i := 0; i < q.len(); i++ {
+		p := q.at(i)
+		r := p.Crit.rank()
+		if limit > 0 && now-p.enqueuedAt >= limit {
+			r = critRankMax
+		}
+		if r > bestRank {
+			bestIdx, bestRank = i, r
+			if r == critRankMax {
+				break
+			}
+		}
+	}
+	return bestIdx
 }
 
 // accruedBusy reports the serialization time actually elapsed inside the

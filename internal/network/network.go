@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gs1280/internal/sim"
+	"gs1280/internal/stats"
 	"gs1280/internal/topology"
 )
 
@@ -31,6 +32,17 @@ type Params struct {
 	DisableAdaptive bool
 	// Policy restricts shuffle-link use (Fig 18's 1-hop/2-hop schemes).
 	Policy topology.RoutePolicy
+	// CritArb enables criticality+age arbitration within each class queue
+	// at the output ports: demand packets overtake control and background
+	// packets of the same Class, with CritAgeLimit bounding starvation.
+	// Off by default; with it off — or with every packet in one
+	// criticality — arbitration is byte-identical to plain FIFO (pinned by
+	// the golden differential tests).
+	CritArb bool
+	// CritAgeLimit promotes a packet that has waited this long at one
+	// output port to demand rank, so background traffic cannot starve
+	// behind a demand storm. Zero disables promotion.
+	CritAgeLimit sim.Time
 }
 
 // DefaultParams returns the GS1280 calibration.
@@ -45,6 +57,9 @@ func DefaultParams() Params {
 		LinkBandwidth:      3_100_000_000,
 		AdaptiveBufPackets: 4,
 		Policy:             topology.RouteAdaptive,
+		// CritArb stays off; the limit is pre-set so flipping the flag
+		// gets a bounded-starvation configuration without more tuning.
+		CritAgeLimit: 500 * sim.Nanosecond,
 	}
 }
 
@@ -82,6 +97,15 @@ type Network struct {
 	// healthy-fabric distance (both cumulative, see Reroutes).
 	injected, delivered      uint64
 	reroutes, nonMinimalHops uint64
+
+	// latHist records end-to-end packet latency at delivery, one
+	// histogram per criticality so tail analyses can separate the stall
+	// path from background drain; resHist records output-port queue
+	// residency when a packet wins the wire. Fixed arrays embedded by
+	// value: recording is a bucket increment on the zero-alloc
+	// deliver/pump paths. Reset by ResetStats with the link counters.
+	latHist [numCrits]stats.Histogram
+	resHist stats.Histogram
 }
 
 // New builds the interconnect for topo on eng.
@@ -266,6 +290,7 @@ func (n *Network) arrive(p *Packet, l *link) {
 
 func (n *Network) deliver(p *Packet) {
 	n.delivered++
+	n.latHist[p.Crit].Record(int64(n.eng.Now() - p.injectedAt))
 	p.OnDeliver()
 }
 
@@ -407,12 +432,42 @@ func (n *Network) NodeLinkUtilization(id topology.NodeID) (avg, ns, ew float64) 
 	return avg, ns, ew
 }
 
-// ResetStats clears all link counters; samplers call it at interval
-// boundaries.
+// LatencyHist reports the end-to-end latency histogram (picoseconds) of
+// packets with criticality c delivered since the last stats reset. The
+// returned pointer stays owned by the network; callers read or Merge from
+// it, they do not Reset it.
+func (n *Network) LatencyHist(c Criticality) *stats.Histogram { return &n.latHist[c] }
+
+// PacketLatency merges the per-criticality delivery histograms into one —
+// exactly the histogram of every delivery in the window, since Merge is
+// concatenation.
+func (n *Network) PacketLatency() stats.Histogram {
+	var h stats.Histogram
+	for c := range n.latHist {
+		h.Merge(&n.latHist[c])
+	}
+	return h
+}
+
+// ResidencyHist reports the output-port queue-residency histogram
+// (picoseconds from enqueue at a port to winning the wire) for the
+// current stats window. Same ownership rules as LatencyHist.
+func (n *Network) ResidencyHist() *stats.Histogram { return &n.resHist }
+
+// ResetStats clears all link counters and the latency/residency
+// histograms; samplers call it at interval boundaries. A packet in flight
+// across the boundary is recorded once, in the window where it completes:
+// a distribution sample cannot be split the way resetStats splits link
+// busy time, so the whole wait lands in the completing window (see
+// docs/ARCHITECTURE.md).
 func (n *Network) ResetStats() {
 	for id := range n.links {
 		for _, l := range n.links[id] {
 			l.resetStats()
 		}
 	}
+	for c := range n.latHist {
+		n.latHist[c].Reset()
+	}
+	n.resHist.Reset()
 }

@@ -68,11 +68,72 @@ func (c Class) priority() int {
 // channel. I/O packets are restricted to the deterministic channels.
 func (c Class) adaptiveAllowed() bool { return c != IO }
 
+// Criticality classifies a packet by how much a processor is waiting on
+// it, following the demand/background split of criticality-aware
+// multiprocessor proposals: a demand miss stalls an instruction stream, a
+// victim writeback does not. It is orthogonal to Class — Class encodes
+// the coherence dependence chain (deadlock correctness), Criticality
+// encodes urgency (performance) — and it only influences arbitration when
+// Params.CritArb is set; histograms are always kept per criticality.
+//
+// CritDemand is the zero value, so untagged packets (every caller that
+// predates criticality) behave exactly as before.
+type Criticality int8
+
+const (
+	// CritDemand marks packets on a processor's stall path: demand-miss
+	// requests, the forwards/invalidates they fan out into, and the data
+	// or completion responses that end the stall.
+	CritDemand Criticality = iota
+	// CritControl marks protocol bookkeeping off the stall path: NAKs,
+	// victim acknowledgements, ownership-transfer notices.
+	CritControl
+	// CritBackground marks traffic no instruction is waiting for: victim
+	// writebacks and sharing writebacks draining dirty blocks to memory.
+	CritBackground
+	numCrits
+)
+
+func (c Criticality) String() string {
+	switch c {
+	case CritDemand:
+		return "demand"
+	case CritControl:
+		return "control"
+	case CritBackground:
+		return "background"
+	}
+	return "Criticality(?)"
+}
+
+// rank orders criticalities at an output port when CritArb is on; higher
+// drains first. It is consulted only within one Class queue, never across
+// classes, so the deadlock-avoiding Class priority stays absolute.
+func (c Criticality) rank() int {
+	switch c {
+	case CritDemand:
+		return 2
+	case CritControl:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// critRankMax is the highest rank; age promotion lifts starved packets to
+// it.
+const critRankMax = 2
+
 // Packet is one message in flight. Callers populate the routing fields and
 // OnDeliver; the network owns the rest.
 type Packet struct {
 	Src, Dst topology.NodeID
 	Class    Class
+	// Crit is the packet's criticality, set by the sender at injection
+	// (zero value CritDemand preserves pre-criticality behavior). It
+	// selects the latency histogram the delivery is recorded into and,
+	// when Params.CritArb is on, breaks ties within a Class queue.
+	Crit Criticality
 	// Size is the packet size in bytes including header, used for link
 	// occupancy (a data response carrying a 64-byte block is 72 bytes, a
 	// request 24).
@@ -85,6 +146,15 @@ type Packet struct {
 	Hops int
 	// injectedAt stamps entry into the network for latency accounting.
 	injectedAt sim.Time
+	// enqueuedAt stamps entry into the current output-port queue. It is
+	// both the queue-residency sample recorded when the packet wins the
+	// wire and the age that CritArb's anti-starvation promotion compares
+	// against. Arbitration deliberately ages from port enqueue, not from
+	// injection: enqueue order within a queue is then monotone in
+	// enqueuedAt, so with every packet in one criticality the "highest
+	// rank, earliest enqueue" scan degenerates to exactly the ring-head
+	// FIFO — the differential identity the golden replays pin.
+	enqueuedAt sim.Time
 	// adaptiveOn remembers the link whose adaptive-channel credit this
 	// packet holds, so arrival can release it.
 	adaptiveOn *link

@@ -44,6 +44,44 @@ func (r *pktRing) pop() *Packet {
 	return p
 }
 
+// at reports the i-th queued packet (0 = head) without removing it; the
+// criticality arbiter scans with it. Callers keep i < len.
+func (r *pktRing) at(i int) *Packet {
+	return r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+// removeAt removes and returns the i-th queued packet, preserving the
+// relative order of the rest — the property that keeps criticality
+// arbitration a pure reordering between classes of packets, never within
+// one. Removing the head (the only case FIFO ever exercises) stays the
+// O(1) pop; a middle removal shifts the shorter side of the ring.
+func (r *pktRing) removeAt(i int) *Packet {
+	if i == 0 {
+		return r.pop()
+	}
+	if i < 0 || i >= r.n {
+		panic("network: removeAt out of range")
+	}
+	mask := len(r.buf) - 1
+	p := r.buf[(r.head+i)&mask]
+	if i < r.n-i-1 {
+		// Closer to the head: shift [0, i) one slot toward the tail.
+		for j := i; j > 0; j-- {
+			r.buf[(r.head+j)&mask] = r.buf[(r.head+j-1)&mask]
+		}
+		r.buf[r.head] = nil
+		r.head = (r.head + 1) & mask
+	} else {
+		// Closer to the tail: shift (i, n) one slot toward the head.
+		for j := i; j < r.n-1; j++ {
+			r.buf[(r.head+j)&mask] = r.buf[(r.head+j+1)&mask]
+		}
+		r.buf[(r.head+r.n-1)&mask] = nil
+	}
+	r.n--
+	return p
+}
+
 // grow doubles the buffer (minimum 8 slots), compacting the live window to
 // the front so the power-of-two index mask stays valid.
 func (r *pktRing) grow() {

@@ -12,6 +12,7 @@ import (
 
 	"gs1280/internal/machine"
 	"gs1280/internal/sim"
+	"gs1280/internal/stats"
 	"gs1280/internal/topology"
 )
 
@@ -35,6 +36,15 @@ type Snapshot struct {
 	// zero on a healthy fabric; a burst of reroutes marks the sample in
 	// which a cable died, a steady non-minimal rate the detour tax after.
 	Reroutes, NonMinimalHops uint64
+	// PacketLat, MissLat and QueueRes are the interval's tail summaries
+	// (picoseconds): end-to-end packet latency across all criticalities,
+	// L2-miss load-to-use latency, and router output-port queue
+	// residency. Window semantics: the histograms reset at each sample
+	// boundary, and a wait that spans a boundary is recorded once, in the
+	// interval where it completes — a distribution sample cannot be split
+	// the way link busy time is (the PR 5 idiom); the completing window
+	// owns the whole wait.
+	PacketLat, MissLat, QueueRes stats.Quantiles
 }
 
 // AvgZbox reports the machine-mean memory controller utilization.
@@ -122,10 +132,14 @@ func (s *Sampler) Schedule(n int) {
 }
 
 func (s *Sampler) capture() {
+	packetLat := s.m.Net.PacketLatency()
 	snap := Snapshot{
 		At:             s.m.Engine().Now(),
 		Reroutes:       s.m.Net.Reroutes() - s.lastReroutes,
 		NonMinimalHops: s.m.Net.NonMinimalHops() - s.lastNonMinimal,
+		PacketLat:      packetLat.Quantiles(),
+		MissLat:        s.m.Coh.MissLatencyHist().Quantiles(),
+		QueueRes:       s.m.Net.ResidencyHist().Quantiles(),
 	}
 	s.lastReroutes += snap.Reroutes
 	s.lastNonMinimal += snap.NonMinimalHops
@@ -161,6 +175,16 @@ func Render(topo *topology.Topology, snap Snapshot) string {
 	b.WriteString(hline)
 	node, util := snap.HottestZbox()
 	fmt.Fprintf(&b, "hottest Zbox: CPU%d at %.0f%%\n", node, util*100)
+	if snap.PacketLat.Count > 0 {
+		fmt.Fprintf(&b, "packet lat ns: p50 %.0f  p95 %.0f  p99 %.0f  p99.9 %.0f\n",
+			float64(snap.PacketLat.P50)/1000, float64(snap.PacketLat.P95)/1000,
+			float64(snap.PacketLat.P99)/1000, float64(snap.PacketLat.P999)/1000)
+	}
+	if snap.MissLat.Count > 0 {
+		fmt.Fprintf(&b, "miss lat ns:   p50 %.0f  p95 %.0f  p99 %.0f  p99.9 %.0f\n",
+			float64(snap.MissLat.P50)/1000, float64(snap.MissLat.P95)/1000,
+			float64(snap.MissLat.P99)/1000, float64(snap.MissLat.P999)/1000)
+	}
 	if snap.Reroutes > 0 || snap.NonMinimalHops > 0 {
 		fmt.Fprintf(&b, "degraded fabric: %d reroutes, %d non-minimal hops this interval\n",
 			snap.Reroutes, snap.NonMinimalHops)

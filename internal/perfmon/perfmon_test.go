@@ -129,6 +129,75 @@ func TestSamplerCountsFaultRecovery(t *testing.T) {
 	}
 }
 
+// TestSnapshotTailQuantiles checks the tail columns added to snapshots:
+// busy intervals carry ordered packet/miss/residency quantiles, idle
+// intervals read empty (the histograms reset at each boundary), and
+// across the whole run every delivered packet is recorded exactly once —
+// a wait spanning a boundary lands in the interval where it completes,
+// never in two.
+func TestSnapshotTailQuantiles(t *testing.T) {
+	m := machine.NewGS1280(machine.GS1280Config{W: 4, H: 2})
+	s := NewSampler(m, 10*sim.Microsecond)
+	for i := range make([]int, m.N()) {
+		m.CPU(i).Run(workload.NewGUPS(0, m.TotalMemory(), 500, uint64(i+1)), nil)
+	}
+	s.Schedule(6)
+	delivered0 := m.Net.Delivered()
+	m.Engine().RunUntil(65 * sim.Microsecond)
+
+	busy := s.Snapshots[0]
+	for _, tc := range []struct {
+		name  string
+		count int64
+		p50   int64
+		p95   int64
+		p99   int64
+		p999  int64
+		max   int64
+	}{
+		{"packet", busy.PacketLat.Count, busy.PacketLat.P50, busy.PacketLat.P95, busy.PacketLat.P99, busy.PacketLat.P999, busy.PacketLat.Max},
+		{"miss", busy.MissLat.Count, busy.MissLat.P50, busy.MissLat.P95, busy.MissLat.P99, busy.MissLat.P999, busy.MissLat.Max},
+		{"residency", busy.QueueRes.Count, busy.QueueRes.P50, busy.QueueRes.P95, busy.QueueRes.P99, busy.QueueRes.P999, busy.QueueRes.Max},
+	} {
+		if tc.count == 0 {
+			t.Fatalf("busy interval has no %s samples", tc.name)
+		}
+		if !(tc.p50 <= tc.p95 && tc.p95 <= tc.p99 && tc.p99 <= tc.p999 && tc.p999 <= tc.max) {
+			t.Fatalf("%s quantiles out of order: p50=%d p95=%d p99=%d p99.9=%d max=%d",
+				tc.name, tc.p50, tc.p95, tc.p99, tc.p999, tc.max)
+		}
+	}
+	if busy.MissLat.P50 < int64(60*sim.Nanosecond) {
+		t.Fatalf("median miss latency %d ps below the open-page floor", busy.MissLat.P50)
+	}
+
+	// The GUPS streams are short; the final interval is pure idle and its
+	// histograms must have been reset at the boundary.
+	last := s.Snapshots[len(s.Snapshots)-1]
+	if last.PacketLat.Count != 0 || last.MissLat.Count != 0 || last.QueueRes.Count != 0 {
+		t.Fatalf("idle interval carries stale samples: %+v %+v %+v",
+			last.PacketLat, last.MissLat, last.QueueRes)
+	}
+
+	// Exactly-once accounting across boundaries: window counts plus the
+	// still-open window cover every delivery since Schedule's reset.
+	var windows int64
+	for _, snap := range s.Snapshots {
+		windows += snap.PacketLat.Count
+	}
+	open := m.Net.PacketLatency()
+	if got, want := uint64(windows)+open.Count(), m.Net.Delivered()-delivered0; got != want {
+		t.Fatalf("windows record %d deliveries, network delivered %d", got, want)
+	}
+
+	if out := Render(m.Topo, busy); !strings.Contains(out, "packet lat ns") || !strings.Contains(out, "miss lat ns") {
+		t.Fatalf("render missing tail lines:\n%s", out)
+	}
+	if out := Render(m.Topo, last); strings.Contains(out, "packet lat ns") {
+		t.Fatalf("idle render shows a tail line:\n%s", out)
+	}
+}
+
 func TestNewSamplerValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {

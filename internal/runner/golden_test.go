@@ -5,6 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"gs1280/internal/experiments"
+	"gs1280/internal/network"
 )
 
 // TestGoldenOutputsAcrossWorkerCounts is the end-to-end determinism and
@@ -22,24 +25,50 @@ import (
 //
 // (and likewise for the other ids), then explain the change in the PR.
 func TestGoldenOutputsAcrossWorkerCounts(t *testing.T) {
-	ids := []string{"fig12", "fig15", "satur-uniform", "degraded-satur"}
+	ids := []string{"fig12", "fig15", "satur-uniform", "degraded-satur",
+		"tail-satur", "tail-degraded", "tail-miss"}
 	for _, workers := range []int{1, 8} {
-		results, err := Run(context.Background(), ids, Options{Workers: workers, Quick: true})
-		if err != nil {
-			t.Fatalf("j=%d: %v", workers, err)
+		replayGoldens(t, ids, workers, "")
+	}
+}
+
+// TestGoldenOutputsUnderCritDifferential is the machine-checked reduction
+// proof for criticality-aware arbitration: with the feature forced on but
+// every packet flattened into a single class (demand or background), the
+// crit+age arbiter degenerates to FIFO and the memory controllers' yield
+// path to the plain one — so the pre-criticality goldens, including the
+// fault-injecting degraded-satur, must replay byte-identically at every
+// worker count. The tail-* fixtures are excluded: their crit rows measure
+// a genuinely mixed population, which is exactly what the differential
+// mode flattens away.
+func TestGoldenOutputsUnderCritDifferential(t *testing.T) {
+	ids := []string{"fig12", "fig15", "satur-uniform", "degraded-satur"}
+	for _, forced := range []network.Criticality{network.CritDemand, network.CritBackground} {
+		restore := experiments.CritDifferential(forced)
+		for _, workers := range []int{1, 8} {
+			replayGoldens(t, ids, workers, "forced="+forced.String()+" ")
 		}
-		for _, r := range results {
-			if r.Err != nil {
-				t.Fatalf("j=%d %s: %v", workers, r.ID, r.Err)
-			}
-			want, err := os.ReadFile(filepath.Join("testdata", r.ID+".quick.csv"))
-			if err != nil {
-				t.Fatalf("missing fixture: %v", err)
-			}
-			if got := r.Table.CSV(); got != string(want) {
-				t.Errorf("j=%d %s: CSV differs from committed fixture\ngot:\n%s\nwant:\n%s",
-					workers, r.ID, got, want)
-			}
+		restore()
+	}
+}
+
+func replayGoldens(t *testing.T, ids []string, workers int, mode string) {
+	t.Helper()
+	results, err := Run(context.Background(), ids, Options{Workers: workers, Quick: true})
+	if err != nil {
+		t.Fatalf("%sj=%d: %v", mode, workers, err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%sj=%d %s: %v", mode, workers, r.ID, r.Err)
+		}
+		want, err := os.ReadFile(filepath.Join("testdata", r.ID+".quick.csv"))
+		if err != nil {
+			t.Fatalf("missing fixture: %v", err)
+		}
+		if got := r.Table.CSV(); got != string(want) {
+			t.Errorf("%sj=%d %s: CSV differs from committed fixture\ngot:\n%s\nwant:\n%s",
+				mode, workers, r.ID, got, want)
 		}
 	}
 }

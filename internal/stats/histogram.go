@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Histogram is a streaming log-bucket histogram of non-negative int64
+// samples (latencies in picoseconds, queue residencies, ...). Buckets are
+// HDR-style: values below 2^histSubBits are exact, larger values land in
+// one of 2^histSubBits sub-buckets per power of two, so any quantile read
+// back is within a relative error of 1/2^histSubBits of the true sample
+// (RelError, pinned by TestHistogramQuantileWithinBound).
+//
+// The struct is a fixed array plus a handful of scalars: Record is a few
+// shifts and an increment — no allocation, no branching on occupancy — so
+// it can sit directly on the network's pump/deliver and the coherence
+// layer's fill paths without disturbing their zero-alloc guarantees.
+// Histograms merge by bucket-wise addition (Merge), which is exactly
+// recording the concatenated sample streams, so per-shard histograms can
+// be combined without bias.
+//
+// The zero value is an empty histogram ready for use.
+type Histogram struct {
+	counts [histBuckets]uint64
+	n      uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+const (
+	// histSubBits sets the sub-bucket resolution: 2^histSubBits buckets
+	// per power of two, bounding relative quantile error at 1/16.
+	histSubBits = 4
+	histSubs    = 1 << histSubBits
+	// histBuckets covers the full non-negative int64 range: the exact
+	// region [0, 16) plus 16 sub-buckets for each exponent 4..62.
+	histBuckets = histSubs + (63-histSubBits)*histSubs
+)
+
+// RelError is the worst-case relative error of Quantile: every bucket's
+// width is at most RelError times its lower bound (exact below histSubs).
+const RelError = 1.0 / histSubs
+
+// bucketOf maps a sample to its bucket index. Negative samples clamp to 0
+// (latencies cannot be negative; a negative input is caller damage this
+// container does not amplify).
+func bucketOf(v int64) int {
+	if v < histSubs {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // >= histSubBits
+	sub := int(v>>(uint(exp)-histSubBits)) & (histSubs - 1)
+	return histSubs + (exp-histSubBits)*histSubs + sub
+}
+
+// bucketBounds reports bucket b's half-open value range [lo, hi).
+func bucketBounds(b int) (lo, hi int64) {
+	if b < histSubs {
+		return int64(b), int64(b) + 1
+	}
+	exp := histSubBits + (b-histSubs)/histSubs
+	sub := (b - histSubs) % histSubs
+	width := int64(1) << (uint(exp) - histSubBits)
+	lo = (int64(histSubs) + int64(sub)) * width
+	hi = lo + width
+	if hi < lo { // topmost bucket: lo+width is 2^63, past int64
+		hi = math.MaxInt64
+	}
+	return lo, hi
+}
+
+// Record adds one sample. It allocates nothing.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+}
+
+// Count reports the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum reports the exact sum of recorded samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean reports the exact sample mean (0 when empty): min/max/mean are
+// tracked outside the buckets, so only the quantiles pay the bucketing
+// error.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Min and Max report the exact extremes (0 when empty).
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max reports the exact largest recorded sample (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile reports the p-quantile (p in [0, 1]) as the midpoint of the
+// bucket holding the nearest-rank sample: rank ceil(p*n) of the sorted
+// stream, rank 1 for p = 0. The result is within RelError of the exact
+// sorted-sample quantile, and exact for samples below histSubs and at the
+// recorded extremes (p=0 and p=1 return Min and Max). Returns 0 when
+// empty.
+func (h *Histogram) Quantile(p float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 1 {
+		return h.max
+	}
+	rank := uint64(math.Ceil(p * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for b := 0; b < histBuckets; b++ {
+		seen += h.counts[b]
+		if seen >= rank {
+			lo, hi := bucketBounds(b)
+			// Midpoint, clamped to the observed extremes so a lone
+			// sample in a wide bucket cannot report beyond Min/Max.
+			q := lo + (hi-lo-1)/2
+			if q < h.min {
+				q = h.min
+			}
+			if q > h.max {
+				q = h.max
+			}
+			return q
+		}
+	}
+	return h.max
+}
+
+// Merge adds o's samples into h bucket-wise; the result is identical to
+// recording both streams into one histogram.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.n == 0 {
+		return
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+	for b := range h.counts {
+		h.counts[b] += o.counts[b]
+	}
+}
+
+// Reset clears the histogram to empty; samplers call it at stats-window
+// boundaries.
+func (h *Histogram) Reset() {
+	*h = Histogram{}
+}
+
+// Quantiles pairs the exact mean with the tail quantiles of one histogram
+// window — the row every tail-aware table and perfmon snapshot reports.
+// Values are in the histogram's sample unit (picoseconds for latencies).
+type Quantiles struct {
+	Count               int64
+	Mean                float64
+	P50, P95, P99, P999 int64
+	Max                 int64
+}
+
+// Quantiles summarizes the histogram's current window.
+func (h *Histogram) Quantiles() Quantiles {
+	return Quantiles{
+		Count: int64(h.n),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.max,
+	}
+}

@@ -1,0 +1,225 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestHistogramBucketGeometry checks the bucket function against its
+// bounds: every sample lands in a bucket whose [lo, hi) contains it, and
+// the bucket widths respect the RelError contract (width <= lo/histSubs
+// above the exact region).
+func TestHistogramBucketGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	check := func(v int64) {
+		b := bucketOf(v)
+		lo, hi := bucketBounds(b)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d in bucket %d with bounds [%d, %d)", v, b, lo, hi)
+		}
+		if lo >= histSubs && hi-lo > lo/histSubs {
+			t.Fatalf("bucket %d width %d exceeds lo/%d = %d", b, hi-lo, histSubs, lo/histSubs)
+		}
+	}
+	for v := int64(0); v < 4096; v++ {
+		check(v)
+	}
+	for i := 0; i < 100000; i++ {
+		check(rng.Int63())
+	}
+	check(1<<62 - 1)
+	check(1 << 62)
+}
+
+// exactQuantile is the reference: the nearest-rank quantile of the sorted
+// sample set (rank ceil(p*n), 1-indexed).
+func exactQuantile(sorted []int64, p float64) int64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(float64(len(sorted)) * p)
+	if float64(rank) < float64(len(sorted))*p {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// TestHistogramQuantileWithinBound is the property test pinning the
+// histogram's accuracy contract: for random sample sets drawn from
+// several shapes (uniform, heavy-tailed, small-integer, constant), every
+// quantile agrees with the exact sorted-sample quantile within the
+// log-bucket relative-error bound RelError.
+func TestHistogramQuantileWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := []struct {
+		name string
+		draw func() int64
+	}{
+		{"uniform", func() int64 { return rng.Int63n(1_000_000) }},
+		{"heavy-tail", func() int64 { return int64(1) << uint(rng.Intn(40)) * (1 + rng.Int63n(100)) }},
+		{"small", func() int64 { return rng.Int63n(16) }},
+		{"latency-like", func() int64 { return 80_000 + rng.Int63n(5_000_000) }},
+		{"constant", func() int64 { return 83_000 }},
+	}
+	quantiles := []float64{0, 0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1}
+	for _, shape := range shapes {
+		for _, n := range []int{1, 2, 10, 1000, 20000} {
+			var h Histogram
+			samples := make([]int64, n)
+			for i := range samples {
+				samples[i] = shape.draw()
+				h.Record(samples[i])
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			for _, p := range quantiles {
+				got := h.Quantile(p)
+				want := exactQuantile(samples, p)
+				if diff := got - want; diff < 0 {
+					diff = -diff
+					if float64(diff) > float64(want)*RelError {
+						t.Errorf("%s n=%d p=%v: quantile %d vs exact %d exceeds rel error %v",
+							shape.name, n, p, got, want, RelError)
+					}
+				} else if float64(diff) > float64(want)*RelError {
+					t.Errorf("%s n=%d p=%v: quantile %d vs exact %d exceeds rel error %v",
+						shape.name, n, p, got, want, RelError)
+				}
+			}
+			if h.Count() != uint64(n) {
+				t.Fatalf("%s: count %d != %d", shape.name, h.Count(), n)
+			}
+			if h.Min() != samples[0] || h.Max() != samples[n-1] {
+				t.Fatalf("%s: extremes (%d, %d) != (%d, %d)",
+					shape.name, h.Min(), h.Max(), samples[0], samples[n-1])
+			}
+		}
+	}
+}
+
+// TestHistogramExtremesAndMeanExact pins the parts that carry no bucketing
+// error: p=0/p=1 return the recorded extremes, Mean is the exact sample
+// mean, and values in the exact region round-trip untouched.
+func TestHistogramExtremesAndMeanExact(t *testing.T) {
+	var h Histogram
+	vals := []int64{3, 7, 7, 12, 15, 0, 9}
+	var sum int64
+	for _, v := range vals {
+		h.Record(v)
+		sum += v
+	}
+	if h.Quantile(0) != 0 || h.Quantile(1) != 15 {
+		t.Fatalf("extreme quantiles (%d, %d), want (0, 15)", h.Quantile(0), h.Quantile(1))
+	}
+	if got, want := h.Mean(), float64(sum)/float64(len(vals)); got != want {
+		t.Fatalf("mean %v, want %v", got, want)
+	}
+	if h.Quantile(0.5) != 7 {
+		t.Fatalf("median %d, want exact 7 (small values are exact)", h.Quantile(0.5))
+	}
+}
+
+// TestHistogramMergeEqualsConcatenation is the merge property: merging two
+// histograms is indistinguishable — bucket counts, extremes, sum, count —
+// from recording the concatenated stream into one.
+func TestHistogramMergeEqualsConcatenation(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		var a, b, both Histogram
+		na, nb := rng.Intn(3000), rng.Intn(3000)
+		for i := 0; i < na; i++ {
+			v := rng.Int63n(1 << uint(10+rng.Intn(30)))
+			a.Record(v)
+			both.Record(v)
+		}
+		for i := 0; i < nb; i++ {
+			v := rng.Int63n(1 << uint(10+rng.Intn(30)))
+			b.Record(v)
+			both.Record(v)
+		}
+		a.Merge(&b)
+		if !reflect.DeepEqual(&a, &both) {
+			t.Fatalf("trial %d: merge(%d, %d samples) differs from concatenated recording", trial, na, nb)
+		}
+	}
+	// Merging an empty histogram is a no-op; merging into empty copies.
+	var empty, h, h2 Histogram
+	h.Record(42)
+	h2.Record(42)
+	h.Merge(&empty)
+	if !reflect.DeepEqual(&h, &h2) {
+		t.Fatal("merging an empty histogram changed the receiver")
+	}
+	empty.Merge(&h)
+	if !reflect.DeepEqual(&empty, &h) {
+		t.Fatal("merging into an empty histogram lost state")
+	}
+}
+
+// TestHistogramResetAndZeroValue checks window semantics: Reset returns
+// the histogram to the zero value, and an empty histogram reads as zeros.
+func TestHistogramResetAndZeroValue(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram reads nonzero")
+	}
+	h.Record(1000)
+	h.Record(2000)
+	h.Reset()
+	if !reflect.DeepEqual(&h, &Histogram{}) {
+		t.Fatal("Reset did not restore the zero value")
+	}
+}
+
+// TestHistogramRecordZeroAlloc is the CI guard for the record path: the
+// histogram sits on the network's deliver/pump hot paths, which are pinned
+// at 0 allocs/op — Record must not break that.
+func TestHistogramRecordZeroAlloc(t *testing.T) {
+	var h Histogram
+	v := int64(1)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(v)
+		v = v*5 + 3
+	}); allocs != 0 {
+		t.Fatalf("Record allocates %.1f allocs/op, want 0", allocs)
+	}
+	q := &h
+	if allocs := testing.AllocsPerRun(100, func() { _ = q.Quantile(0.99) }); allocs != 0 {
+		t.Fatalf("Quantile allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkHistogramRecord measures the record path; -benchmem must show
+// 0 B/op.
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	v := int64(1)
+	for i := 0; i < b.N; i++ {
+		h.Record(v)
+		v = v*6364136223846793005 + 1442695040888963407
+		if v < 0 {
+			v = -v
+		}
+	}
+}
+
+// BenchmarkHistogramQuantile measures the read side (a 960-bucket scan).
+func BenchmarkHistogramQuantile(b *testing.B) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100000; i++ {
+		h.Record(rng.Int63n(10_000_000))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Quantile(0.999)
+	}
+}

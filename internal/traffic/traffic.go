@@ -27,6 +27,7 @@ import (
 
 	"gs1280/internal/network"
 	"gs1280/internal/sim"
+	"gs1280/internal/stats"
 	"gs1280/internal/topology"
 )
 
@@ -164,6 +165,13 @@ type Config struct {
 	MaxInFlight int
 	// Warmup runs before counters start; Measure is the counted window.
 	Warmup, Measure sim.Time
+	// BgFrac and CtlFrac set the criticality mix: each injected packet is
+	// background with probability BgFrac, control with CtlFrac, demand
+	// otherwise. The draw uses a dedicated per-source RNG derived from
+	// Seed, so enabling a mix never perturbs the pattern or arrival
+	// streams — a zero mix is bit-identical to the pre-criticality
+	// injector (the golden differential tests rely on this).
+	BgFrac, CtlFrac float64
 }
 
 // Result aggregates one run's measurement window.
@@ -187,6 +195,14 @@ type Result struct {
 	// counters at the end of the run — zero on a healthy fabric (see
 	// network.Network.Reroutes).
 	Reroutes, NonMinimalHops uint64
+	// Lat is the tail summary of every packet delivered inside the
+	// measured window (the network's histogram, so it also counts
+	// warmup-injected packets that complete in-window); DemandLat and
+	// BgLat split it by criticality — the pair the tail-* experiments
+	// compare across prioritization settings. QueueRes summarizes router
+	// output-port queue residency over the same window.
+	Lat, DemandLat, BgLat stats.Quantiles
+	QueueRes              stats.Quantiles
 }
 
 // AvgLatencyNs reports mean delivered latency in nanoseconds.
@@ -251,6 +267,7 @@ type source struct {
 	r        *run
 	node     topology.NodeID
 	rng      *sim.RNG
+	critRNG  *sim.RNG
 	inFlight int
 	stepT    sim.Timer
 }
@@ -291,6 +308,10 @@ func Run(net *network.Network, cfg Config) Result {
 			r:    r,
 			node: topology.NodeID(id),
 			rng:  sim.NewRNG(cfg.Seed*0x9e3779b9 + uint64(id)*0x100000001b3 + 1),
+			// Distinct mixing constants keep the criticality stream
+			// independent of the pattern/arrival stream: a zero mix never
+			// draws from it, so it cannot perturb existing runs.
+			critRNG: sim.NewRNG(cfg.Seed*0x9e3779b97f4a7c15 + uint64(id)*0xff51afd7ed558ccd + 2),
 		}
 		s.stepT.Init(eng, s.step)
 		s.stepT.ScheduleAt(s.firstAt(begin))
@@ -312,6 +333,13 @@ func Run(net *network.Network, cfg Config) Result {
 	r.res.PeakQueued = net.PeakQueued()
 	r.res.Reroutes = net.Reroutes()
 	r.res.NonMinimalHops = net.NonMinimalHops()
+	// The histograms were reset with the rest of the stats at measureStart,
+	// so they cover exactly the measured window.
+	all := net.PacketLatency()
+	r.res.Lat = all.Quantiles()
+	r.res.DemandLat = net.LatencyHist(network.CritDemand).Quantiles()
+	r.res.BgLat = net.LatencyHist(network.CritBackground).Quantiles()
+	r.res.QueueRes = net.ResidencyHist().Quantiles()
 	return r.res
 }
 
@@ -385,6 +413,14 @@ func (s *source) attempt(now sim.Time) {
 	s.inFlight++
 	sentAt := now
 	p := &network.Packet{Src: s.node, Dst: dst, Class: s.r.cfg.Class, Size: s.r.cfg.Size}
+	if s.r.cfg.BgFrac > 0 || s.r.cfg.CtlFrac > 0 {
+		switch u := s.critRNG.Float64(); {
+		case u < s.r.cfg.BgFrac:
+			p.Crit = network.CritBackground
+		case u < s.r.cfg.BgFrac+s.r.cfg.CtlFrac:
+			p.Crit = network.CritControl
+		}
+	}
 	p.OnDeliver = func() {
 		s.inFlight--
 		if sentAt >= s.r.measureStart {

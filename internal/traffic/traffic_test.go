@@ -209,3 +209,52 @@ func TestNonParticipants(t *testing.T) {
 		t.Error("single-node uniform source should not inject")
 	}
 }
+
+// TestCritMixDeterminism pins the invariant the golden CSVs rely on: the
+// criticality mix draws from its own RNG stream, so (a) a zero mix is
+// bit-identical to the pre-criticality injector, and (b) a nonzero mix
+// with arbitration off retags packets without moving a single injection,
+// stall or delivery — only the per-class latency split may differ.
+func TestCritMixDeterminism(t *testing.T) {
+	run := func(bg, ctl float64, arb bool) Result {
+		return Run(newNet(4, 4, func(p *network.Params) { p.CritArb = arb }), Config{
+			Pattern: Uniform(),
+			Rate:    0.02,
+			Class:   network.Request,
+			Seed:    42,
+			Warmup:  2 * sim.Microsecond,
+			Measure: 10 * sim.Microsecond,
+			BgFrac:  bg,
+			CtlFrac: ctl,
+		})
+	}
+	base := run(0, 0, false)
+	if base != runUniform(0.02, nil) {
+		t.Fatal("zero mix diverges from a config that never mentions criticality")
+	}
+	mixed := run(0.3, 0.1, false)
+	if mixed.Offered != base.Offered || mixed.Stalled != base.Stalled ||
+		mixed.Injected != base.Injected || mixed.Delivered != base.Delivered ||
+		mixed.LatencySum != base.LatencySum {
+		t.Fatalf("arb-off mix moved the ledger:\n%+v\nvs\n%+v", mixed, base)
+	}
+	if mixed.BgLat.Count == 0 || mixed.DemandLat.Count == 0 {
+		t.Fatalf("mix did not populate both class histograms: %+v", mixed)
+	}
+	if base.BgLat.Count != 0 {
+		t.Fatalf("zero mix recorded background packets: %+v", base.BgLat)
+	}
+	if got, want := base.Lat.Count, int64(base.Delivered); got < want {
+		t.Fatalf("window histogram count %d below in-window deliveries %d", got, want)
+	}
+	// With arbitration on, the mixed run must favor demand packets: its
+	// tail must not be worse than background's.
+	arb := run(0.3, 0.1, true)
+	if arb.DemandLat.Count == 0 || arb.BgLat.Count == 0 {
+		t.Fatalf("arb run missing class samples: %+v", arb)
+	}
+	if arb.DemandLat.P99 > arb.BgLat.P99 {
+		t.Errorf("prioritized demand p99 %d above background p99 %d",
+			arb.DemandLat.P99, arb.BgLat.P99)
+	}
+}
