@@ -1,3 +1,3 @@
 module gs1280
 
-go 1.21
+go 1.22

@@ -30,6 +30,7 @@ func (s LineState) String() string {
 	case ExclusiveDirty:
 		return "exclusive"
 	}
+	//lint:alloc-ok formatting only on invalid states and opt-in trace paths
 	return fmt.Sprintf("LineState(%d)", int(s))
 }
 

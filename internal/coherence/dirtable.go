@@ -41,7 +41,7 @@ func (t *dirTable) get(slot int64) *dirEntry {
 	if slot < dirDenseSlots {
 		pg := t.pages[slot>>dirPageShift]
 		if pg == nil {
-			pg = new([dirPageLines]dirEntry)
+			pg = new([dirPageLines]dirEntry) //lint:alloc-ok lazy page fault, once per 256-line window'
 			t.pages[slot>>dirPageShift] = pg
 		}
 		return &pg[slot&(dirPageLines-1)]
@@ -145,6 +145,7 @@ func (sp *dirSpill) get(slot int64) *dirEntry {
 			continue // re-probe in the grown table
 		}
 		if sp.n&(spillSlabSize-1) == 0 && sp.n>>8 == len(sp.slabs) {
+			//lint:alloc-ok slab-pool refill, amortized across spill inserts
 			sp.slabs = append(sp.slabs, new([spillSlabSize]dirEntry))
 		}
 		i := int32(sp.n)
@@ -163,8 +164,8 @@ func (sp *dirSpill) grow() {
 		newCap = 64
 	}
 	oldKeys, oldIdx := sp.keys, sp.idx
-	sp.keys = make([]int64, newCap)
-	sp.idx = make([]int32, newCap)
+	sp.keys = make([]int64, newCap) //lint:alloc-ok rehash on insert only, amortized doubling
+	sp.idx = make([]int32, newCap)  //lint:alloc-ok rehash on insert only, amortized doubling
 	mask := uint64(newCap - 1)
 	for i, k := range oldKeys {
 		if k == 0 {

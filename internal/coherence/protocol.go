@@ -399,6 +399,8 @@ func (s *System) ResetStats() {
 // containing addr from node id. done receives the load-to-use latency.
 // Stores use read-modify-write semantics: the line's 64-bit value is
 // incremented, which lets tests verify that no update is ever lost.
+//
+//gs:noalloc guard=TestCoherenceFastPathAllocs
 func (s *System) Access(id topology.NodeID, addr int64, write bool, done func(lat sim.Time)) {
 	nd := s.nodes[id]
 	if write {

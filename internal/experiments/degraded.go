@@ -68,6 +68,7 @@ func scheduleFaults(net *network.Network, topo *topology.Topology, level int, wa
 	eng := net.Engine()
 	for j, k := range degradedFaults(topo, level) {
 		k := k
+		//lint:timer-ok setup-time one-shot fault schedule, a handful of events per run
 		eng.At(eng.Now()+warm*sim.Time(j+1)/4, func() { net.FailLink(k) })
 	}
 }

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetRange flags `range` over a map in the deterministic packages. Go's
+// map iteration order is randomized per run, so any map range whose body
+// can influence simulated state, event order, or emitted rows breaks the
+// byte-identical -j1/-j8 contract — the exact bug class the golden-CSV
+// replays only catch when a guarded experiment happens to hit it.
+//
+// Two shapes are accepted without a directive:
+//
+//   - the key-collection idiom: a body whose every statement only appends
+//     the key/value to a slice (or bumps a counter), i.e. the standard
+//     "collect, sort, then iterate sorted" prologue — order-insensitive by
+//     construction as long as the follow-up sort exists, which code review
+//     and the golden fixtures still guard;
+//   - loops annotated `//lint:unordered-ok <reason>` on the `for` line or
+//     the line above, for bodies that are genuinely order-insensitive
+//     (pure reductions like sum/min/max, or draining a map into another
+//     map).
+var DetRange = &Analyzer{
+	Name:      "detrange",
+	Doc:       "flags map iteration in deterministic packages (unordered range breaks -j identity)",
+	AppliesTo: IsDeterministicPkg,
+	Run:       runDetRange,
+}
+
+func runDetRange(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Pkg.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isKeyCollectLoop(p.Pkg.Info, rs) {
+				return true
+			}
+			p.Reportf(rs.For, DirUnorderedOK,
+				"range over map %s in deterministic package: iteration order is randomized; sort keys first or justify with //lint:unordered-ok", exprString(rs.X))
+			return true
+		})
+	}
+}
+
+// isKeyCollectLoop recognizes the collect-then-sort prologue: every
+// statement of the body is either an append of loop variables into a
+// slice, or a counter increment. Anything else (calls, sends, nested
+// control flow) can observe iteration order and must sort or justify.
+func isKeyCollectLoop(info *types.Info, rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	for _, st := range rs.Body.List {
+		switch s := st.(type) {
+		case *ast.IncDecStmt:
+			// counter bump: order-insensitive
+		case *ast.AssignStmt:
+			if !isAppendAssign(info, s) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// isAppendAssign reports whether s has the shape `x = append(x, ...)`.
+func isAppendAssign(info *types.Info, s *ast.AssignStmt) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	// append must be the builtin, not a shadowing local.
+	if obj := info.Uses[id]; obj == nil || obj.Parent() != types.Universe {
+		return false
+	}
+	return true
+}
+
+// exprString renders simple expressions for messages (identifier chains);
+// anything more complex degrades to "expression".
+func exprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	}
+	return "expression"
+}

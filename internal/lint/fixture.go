@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"fmt"
+	"go/importer"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadFixture loads analysistest-style fixture packages: each pkgPath
+// resolves to the directory root/pkgPath, and imports inside fixture files
+// resolve under root first (so a fixture can import a stub "sim" package
+// from root/sim) and fall back to the real standard library's export data.
+// The go tool refuses to build anything under a testdata directory, which
+// is exactly why fixtures live there — this loader is how the analyzer
+// tests see them.
+func LoadFixture(root string, pkgPaths ...string) (*Program, error) {
+	pr := NewProgram()
+	fl := &fixtureLoader{
+		root:     root,
+		prog:     pr,
+		byPath:   make(map[string]*types.Package),
+		checking: make(map[string]bool),
+	}
+	fl.exportImp = importer.ForCompiler(pr.Fset, "gc", fl.lookupExport)
+	for _, path := range pkgPaths {
+		if _, err := fl.Import(path); err != nil {
+			return nil, err
+		}
+	}
+	return pr, nil
+}
+
+// fixtureLoader resolves fixture-local imports from source and everything
+// else from the build cache's export data (one `go list -export` per
+// stdlib package the gc importer asks for).
+type fixtureLoader struct {
+	root      string
+	prog      *Program
+	byPath    map[string]*types.Package
+	checking  map[string]bool
+	exportImp types.Importer
+}
+
+// lookupExport locates export data for a stdlib package on demand.
+func (fl *fixtureLoader) lookupExport(path string) (io.ReadCloser, error) {
+	out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: no export data for %q: %v", path, err)
+	}
+	name := strings.TrimSpace(string(out))
+	if name == "" {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(name)
+}
+
+// Import implements types.Importer over the fixture tree.
+func (fl *fixtureLoader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := fl.byPath[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(fl.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return fl.checkDir(path, dir)
+	}
+	p, err := fl.exportImp.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	fl.byPath[path] = p
+	return p, nil
+}
+
+// checkDir type-checks one fixture directory as a package.
+func (fl *fixtureLoader) checkDir(path, dir string) (*types.Package, error) {
+	if fl.checking[path] {
+		return nil, fmt.Errorf("lint: fixture import cycle through %q", path)
+	}
+	fl.checking[path] = true
+	defer delete(fl.checking, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: fixture package %q has no Go files", path)
+	}
+	files, err := ParseDirFiles(fl.prog.Fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	pkg, info, err := CheckFiles(path, fl.prog.Fset, files, fl)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking fixture %s: %v", path, err)
+	}
+	fl.byPath[path] = pkg
+	fl.prog.AddPackage(&Package{Path: path, Name: files[0].Name.Name, Files: files, Types: pkg, Info: info})
+	return pkg, nil
+}
+
+// Expectations extracts the `// want "regexp"` comments of every file in
+// the program, keyed by filename and line. Multiple quoted patterns per
+// comment declare multiple expected findings on that line.
+func Expectations(pr *Program) map[string]map[int][]string {
+	out := make(map[string]map[int][]string)
+	for _, pkg := range pr.Pkgs {
+		for _, f := range pkg.Files {
+			name := pr.Fset.Position(f.Pos()).Filename
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					line := pr.Fset.Position(c.Pos()).Line
+					for _, pat := range splitQuoted(rest) {
+						if out[name] == nil {
+							out[name] = make(map[int][]string)
+						}
+						out[name][line] = append(out[name][line], pat)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted extracts the "..."-quoted segments of a want comment.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			return out
+		}
+		s = s[i+1:]
+		j := strings.IndexByte(s, '"')
+		if j < 0 {
+			return out
+		}
+		out = append(out, s[:j])
+		s = s[j+1:]
+	}
+}
+
+// FixturePackage returns the loaded fixture package with the given path.
+func FixturePackage(pr *Program, path string) *Package {
+	for _, p := range pr.Pkgs {
+		if p.Path == path {
+			return p
+		}
+	}
+	return nil
+}
+
+// RunOnPackage applies one analyzer to one package of the program
+// (ignoring AppliesTo — fixtures opt in by being passed here). For
+// WholeProgram analyzers the whole program runs instead, as in the real
+// driver.
+func RunOnPackage(pr *Program, a *Analyzer, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	if a.WholeProgram {
+		runOne(pr, a, nil, func(d Diagnostic) { diags = append(diags, d) })
+	} else {
+		runOne(pr, a, pkg, func(d Diagnostic) { diags = append(diags, d) })
+	}
+	return diags
+}

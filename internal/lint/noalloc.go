@@ -1,0 +1,417 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoAlloc checks every function annotated `//gs:noalloc` — and all of its
+// statically resolvable callees inside the module — for allocation-prone
+// constructs. The runtime AllocsPerRun guards prove a handful of guarded
+// call sequences allocate nothing; this pass proves the whole annotated
+// call graph avoids the constructs that would put allocations there in
+// the first place:
+//
+//   - capturing closures (a func literal referencing outer variables
+//     heap-allocates its environment)
+//   - interface conversions of non-pointer-shaped values (boxing)
+//   - string concatenation and string<->[]byte conversions
+//   - any call into package fmt
+//   - map writes (growth allocates; the hot paths use slot indexing)
+//   - slice/map composite literals, &composite, make, new
+//
+// Dynamic calls (through func values or interfaces) are not followed —
+// the engine's pre-bound (fn, arg) dispatch is exactly such a call, and
+// its targets are annotated at their declarations instead. Arguments to
+// panic are exempt: a panicking simulation is already off the measured
+// path. append is deliberately not flagged: the hot paths append into
+// pre-sized scratch (growth is amortized setup, guarded by bytes/op
+// checks at runtime). Waive intentional cold allocations with
+// `//lint:alloc-ok <reason>` at the construct.
+//
+// The annotation takes one of two forms, enforced by the meta-test in
+// noalloc_meta_test.go:
+//
+//	//gs:noalloc guard=TestName   — TestName is the runtime AllocsPerRun
+//	                                guard covering this function
+//	//gs:noalloc unguarded: why   — no runtime guard exists; says why
+var NoAlloc = &Analyzer{
+	Name:         "noalloc",
+	Doc:          "checks //gs:noalloc functions and their static callees for allocation-prone constructs",
+	WholeProgram: true,
+	Run:          runNoAlloc,
+}
+
+// NoAllocDirective holds one parsed //gs:noalloc annotation.
+type NoAllocDirective struct {
+	Guard      string // test name from guard=..., "" if unguarded
+	Unguarded  string // reason from unguarded: ..., "" if guarded
+	Malformed  bool
+	Annotation string // raw directive text
+}
+
+// ParseNoAllocDirective extracts the //gs:noalloc directive from a
+// function's doc comment, or nil if the function is not annotated.
+func ParseNoAllocDirective(doc *ast.CommentGroup) *NoAllocDirective {
+	if doc == nil {
+		return nil
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//gs:noalloc")
+		if !ok {
+			continue
+		}
+		d := &NoAllocDirective{Annotation: c.Text}
+		rest = strings.TrimSpace(rest)
+		switch {
+		case strings.HasPrefix(rest, "guard="):
+			d.Guard = strings.TrimPrefix(rest, "guard=")
+			d.Malformed = d.Guard == ""
+		case strings.HasPrefix(rest, "unguarded:"):
+			d.Unguarded = strings.TrimSpace(strings.TrimPrefix(rest, "unguarded:"))
+			d.Malformed = d.Unguarded == ""
+		default:
+			d.Malformed = true
+		}
+		return d
+	}
+	return nil
+}
+
+func runNoAlloc(p *Pass) {
+	c := &noallocChecker{pass: p, visited: make(map[*types.Func]bool)}
+	// Seed with every annotated function, in package then file order.
+	var queue []*FuncDecl
+	for _, pkg := range p.Prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				d := ParseNoAllocDirective(fd.Doc)
+				if d == nil {
+					continue
+				}
+				if d.Malformed {
+					p.Reportf(fd.Pos(), "",
+						"malformed %s: want //gs:noalloc guard=TestName or //gs:noalloc unguarded: reason", d.Annotation)
+				}
+				if fd.Body == nil {
+					continue
+				}
+				queue = append(queue, &FuncDecl{Decl: fd, Pkg: pkg})
+			}
+		}
+	}
+	for _, fd := range queue {
+		c.check(fd)
+	}
+}
+
+// noallocChecker walks annotated functions and their module callees once
+// each, flagging allocation-prone constructs.
+type noallocChecker struct {
+	pass    *Pass
+	visited map[*types.Func]bool
+}
+
+// check walks one function body; newly discovered static callees in the
+// module are checked recursively (the visited set makes the traversal a
+// plain DFS over the call graph).
+func (c *noallocChecker) check(fd *FuncDecl) {
+	fn, ok := fd.Pkg.Info.Defs[fd.Decl.Name].(*types.Func)
+	if !ok || c.visited[fn] {
+		return
+	}
+	c.visited[fn] = true
+	w := &noallocWalk{c: c, fd: fd, info: fd.Pkg.Info}
+	ast.Inspect(fd.Decl.Body, w.visit)
+	w.checkReturns(fn)
+}
+
+// noallocWalk is the per-function AST walk.
+type noallocWalk struct {
+	c    *noallocChecker
+	fd   *FuncDecl
+	info *types.Info
+	lits []*ast.FuncLit
+	rets []*ast.ReturnStmt
+}
+
+// checkReturns flags implicit boxing at return statements: each return is
+// matched to its innermost enclosing function (the declaration or a
+// literal inside it) to find the result types. Multi-value call returns
+// and naked returns are skipped.
+func (w *noallocWalk) checkReturns(fn *types.Func) {
+	for _, ret := range w.rets {
+		results := w.resultsEnclosing(ret, fn)
+		if results == nil || len(ret.Results) != results.Len() {
+			continue
+		}
+		for i, expr := range ret.Results {
+			rt := results.At(i).Type()
+			if types.IsInterface(rt.Underlying()) {
+				w.flagBoxing(expr, w.typeOf(expr), rt)
+			}
+		}
+	}
+}
+
+// resultsEnclosing returns the result tuple of the innermost function
+// containing ret.
+func (w *noallocWalk) resultsEnclosing(ret *ast.ReturnStmt, fn *types.Func) *types.Tuple {
+	var best *ast.FuncLit
+	for _, lit := range w.lits {
+		if lit.Pos() <= ret.Pos() && ret.End() <= lit.End() {
+			if best == nil || (best.Pos() <= lit.Pos() && lit.End() <= best.End()) {
+				best = lit
+			}
+		}
+	}
+	if best != nil {
+		sig, ok := w.typeOf(best).(*types.Signature)
+		if !ok {
+			return nil
+		}
+		return sig.Results()
+	}
+	return fn.Type().(*types.Signature).Results()
+}
+
+// where names the function being walked for diagnostics.
+func (w *noallocWalk) where() string { return w.fd.Decl.Name.Name }
+
+func (w *noallocWalk) reportf(pos token.Pos, format string, args ...any) {
+	w.c.pass.Reportf(pos, DirAllocOK, format+" in noalloc function %s; restructure or justify with //lint:alloc-ok", append(args, w.where())...)
+}
+
+func (w *noallocWalk) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		return w.visitCall(n)
+	case *ast.FuncLit:
+		w.lits = append(w.lits, n)
+		if captured := capturedVars(w.info, n); len(captured) > 0 {
+			w.reportf(n.Pos(), "closure captures %s (heap-allocates its environment)", strings.Join(captured, ", "))
+		}
+	case *ast.ReturnStmt:
+		w.rets = append(w.rets, n)
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && isString(w.info.Types[n.X].Type) {
+			w.reportf(n.Pos(), "string concatenation allocates")
+		}
+	case *ast.CompositeLit:
+		if t := w.typeOf(n); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				w.reportf(n.Pos(), "slice literal allocates")
+			case *types.Map:
+				w.reportf(n.Pos(), "map literal allocates")
+			}
+		}
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				w.reportf(n.Pos(), "address of composite literal escapes to the heap")
+			}
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			w.checkMapWrite(lhs)
+		}
+		for i, rhs := range n.Rhs {
+			if len(n.Lhs) == len(n.Rhs) {
+				w.checkIfaceAssign(n.Lhs[i], rhs)
+			}
+		}
+	case *ast.IncDecStmt:
+		w.checkMapWrite(n.X)
+	}
+	return true
+}
+
+// visitCall handles call expressions: conversions, builtins, fmt, and the
+// recursive descent into module callees. Returns false to prune subtrees
+// (panic arguments).
+func (w *noallocWalk) visitCall(call *ast.CallExpr) bool {
+	// Conversion, not a call?
+	if tv, ok := w.info.Types[call.Fun]; ok && tv.IsType() {
+		w.checkConversion(call, tv.Type)
+		return true
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := w.info.Uses[id]; obj != nil && obj.Parent() == types.Universe {
+			switch id.Name {
+			case "panic":
+				// Anything computed for a panic message is off the
+				// measured path; don't descend into the arguments.
+				return false
+			case "make":
+				w.reportf(call.Pos(), "make allocates")
+			case "new":
+				w.reportf(call.Pos(), "new allocates")
+			}
+			return true
+		}
+	}
+	fn := Callee(w.info, call)
+	if fn == nil {
+		return true // dynamic call: targets are annotated at declaration
+	}
+	if funcPkgPath(fn) == "fmt" {
+		w.reportf(call.Pos(), "call to fmt.%s allocates", fn.Name())
+	}
+	w.checkCallArgs(call, fn)
+	if callee := w.c.pass.Prog.DeclOf(fn); callee != nil {
+		w.c.check(callee)
+	}
+	return true
+}
+
+// checkConversion flags explicit conversions that allocate: boxing into an
+// interface, and string<->[]byte/[]rune copies.
+func (w *noallocWalk) checkConversion(call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := w.typeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	if types.IsInterface(target.Underlying()) {
+		w.flagBoxing(call.Args[0], src, target)
+		return
+	}
+	tu, su := target.Underlying(), src.Underlying()
+	if isString(tu) {
+		if _, ok := su.(*types.Slice); ok {
+			w.reportf(call.Pos(), "[]byte/[]rune-to-string conversion copies")
+		}
+	} else if _, ok := tu.(*types.Slice); ok && isString(su) {
+		w.reportf(call.Pos(), "string-to-slice conversion copies")
+	}
+}
+
+// checkCallArgs flags implicit boxing at call boundaries: a concrete,
+// non-pointer-shaped argument passed to an interface-typed parameter.
+func (w *noallocWalk) checkCallArgs(call *ast.CallExpr, fn *types.Func) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params() == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt.Underlying()) {
+			w.flagBoxing(arg, w.typeOf(arg), pt)
+		}
+	}
+}
+
+// checkIfaceAssign flags implicit boxing in assignments.
+func (w *noallocWalk) checkIfaceAssign(lhs, rhs ast.Expr) {
+	lt := w.typeOf(lhs)
+	if lt == nil || !types.IsInterface(lt.Underlying()) {
+		return
+	}
+	w.flagBoxing(rhs, w.typeOf(rhs), lt)
+}
+
+// flagBoxing reports a concrete->interface conversion when the concrete
+// value is not pointer-shaped (pointers, chans, maps and funcs fit the
+// interface data word directly and do not allocate; everything else is
+// boxed on the heap).
+func (w *noallocWalk) flagBoxing(expr ast.Expr, src, dst types.Type) {
+	if src == nil || types.IsInterface(src.Underlying()) {
+		return
+	}
+	if b, ok := src.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if pointerShaped(src) {
+		return
+	}
+	w.reportf(expr.Pos(), "converting %s to %s boxes the value on the heap", src, dst)
+}
+
+// checkMapWrite flags assignments through a map index expression.
+func (w *noallocWalk) checkMapWrite(lhs ast.Expr) {
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	t := w.typeOf(ix.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); isMap {
+		w.reportf(lhs.Pos(), "map write can trigger growth allocation")
+	}
+}
+
+func (w *noallocWalk) typeOf(e ast.Expr) types.Type {
+	if tv, ok := w.info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// pointerShaped reports whether values of t occupy exactly one pointer
+// word, so converting them to an interface stores them inline.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// capturedVars lists the outer local variables a func literal captures
+// (package-level objects and struct fields are not captures).
+func capturedVars(info *types.Info, lit *ast.FuncLit) []string {
+	var names []string
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if scope := v.Parent(); scope == nil || scope == types.Universe || scope.Parent() == types.Universe {
+			return true // package-level or universe
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			seen[v] = true
+			names = append(names, v.Name())
+		}
+		return true
+	})
+	return names
+}

@@ -1,0 +1,59 @@
+// Package detrange exercises the detrange analyzer: map iteration in
+// deterministic packages must either feed a sort, stay order-insensitive
+// by construction, or carry a justified //lint:unordered-ok.
+package detrange
+
+import "sort"
+
+// flagged concatenates map keys in iteration order — the canonical
+// nondeterminism detrange exists to catch: the result differs run to run.
+func flagged(m map[string]int) string {
+	s := ""
+	for k := range m { // want "range over map"
+		s += k
+	}
+	return s
+}
+
+// sortedIteration is the accepted key-collect idiom: the loop body only
+// appends, and order is restored by the sort before anything observes it.
+func sortedIteration(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// counted is the other allowed shape: a body that only bumps counters is
+// order-insensitive by construction.
+func counted(m map[int]bool) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// suppressed shows a justified suppression: the directive names why
+// iteration order cannot leak.
+func suppressed(m map[int]int) int {
+	total := 0
+	//lint:unordered-ok integer sum, commutative, order cannot leak
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// bareDirective shows that a directive without a reason does not
+// suppress: justifications are mandatory.
+func bareDirective(m map[int]int) int {
+	total := 0
+	//lint:unordered-ok
+	for _, v := range m { // want "range over map"
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,137 @@
+// Package noalloc exercises the noalloc analyzer: functions annotated
+// //gs:noalloc — and every statically resolvable callee — must avoid
+// allocation-prone constructs, with //lint:alloc-ok justifying the
+// deliberate exceptions (pool refills, cold paths).
+package noalloc
+
+import "fmt"
+
+// rec is a pooled record type, the shape the zero-alloc hot paths use.
+type rec struct {
+	v    int
+	next *rec
+}
+
+// pool is a free-list of recs.
+type pool struct {
+	free []*rec
+}
+
+// closureCapture builds a capturing closure: the environment heap-escapes.
+//
+//gs:noalloc guard=TestFixtureGuard
+func closureCapture(x int) func() int {
+	f := func() int { return x } // want "closure captures"
+	return f
+}
+
+// boxedReturn converts a basic type to an interface at the return.
+//
+//gs:noalloc guard=TestFixtureGuard
+func boxedReturn(x int) any {
+	return x // want "boxes the value"
+}
+
+// pointerReturn is the accepted spelling: pointer-shaped values convert
+// to an interface without allocating.
+//
+//gs:noalloc guard=TestFixtureGuard
+func pointerReturn(r *rec) any {
+	return r
+}
+
+// concat allocates a new string per call.
+//
+//gs:noalloc guard=TestFixtureGuard
+func concat(a, b string) string {
+	return a + b // want "string concatenation"
+}
+
+// formatted calls fmt, which both allocates internally and boxes its
+// variadic arguments.
+//
+//gs:noalloc guard=TestFixtureGuard
+func formatted(v int) {
+	fmt.Println(v) // want "call to fmt" "boxes the value"
+}
+
+// mapWrite can trigger rehash growth mid-measurement.
+//
+//gs:noalloc guard=TestFixtureGuard
+func mapWrite(m map[int]int, k int) {
+	m[k] = 1 // want "map write"
+}
+
+// builders collects the literal/make constructs that allocate directly.
+//
+//gs:noalloc guard=TestFixtureGuard
+func builders(n int) {
+	s := make([]int, n) // want "make allocates"
+	l := []int{1, 2}    // want "slice literal"
+	r := &rec{}         // want "address of composite literal"
+	use(s, l, r)
+}
+
+// transitive is clean itself but calls get, which is checked because it
+// is statically reachable from an annotated function.
+//
+//gs:noalloc guard=TestFixtureGuard
+func transitive(p *pool) *rec {
+	return p.get()
+}
+
+// get refills from nothing — flagged via transitive's annotation.
+func (p *pool) get() *rec {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free = p.free[:n-1]
+		return r
+	}
+	return &rec{} // want "address of composite literal"
+}
+
+// getSuppressed is the accepted pool idiom: the steady-state path reuses
+// records and the refill branch carries a justified suppression.
+//
+//gs:noalloc guard=TestFixtureGuard
+func getSuppressed(p *pool) *rec {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free = p.free[:n-1]
+		return r
+	}
+	return &rec{} //lint:alloc-ok pool refill, amortized to zero at steady state
+}
+
+// coldPanic shows the panic exemption: anything computed for a panic
+// message is off the measured path.
+//
+//gs:noalloc guard=TestFixtureGuard
+func coldPanic(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("negative %d", v))
+	}
+}
+
+// dynamic dispatches through a function value; the analyzer cannot
+// resolve the callee statically and deliberately does not guess.
+//
+//gs:noalloc guard=TestFixtureGuard
+func dynamic(fn func(*rec), r *rec) {
+	fn(r)
+}
+
+// unguardedDocumented uses the unguarded form: the reason is mandatory
+// and replaces the runtime-guard reference.
+//
+//gs:noalloc unguarded: exercised only through fixtures, no runtime harness
+func unguardedDocumented() {}
+
+// malformedDirective has a directive with neither guard= nor unguarded:,
+// which the analyzer reports rather than silently accepting.
+//
+//gs:noalloc
+func malformedDirective() {} // want "malformed"
+
+// use keeps the builders fixture's values live.
+func use(s []int, l []int, r *rec) {}

@@ -1,0 +1,28 @@
+// Package sim is a stub of the real gs1280/internal/sim surface, just
+// enough for the timerarg fixture: the analyzer matches Engine.At/After
+// by method name, receiver type name and declaring-package base name, so
+// this stub exercises the same resolution path as the real package.
+package sim
+
+// Time mirrors sim.Time.
+type Time int64
+
+// Engine mirrors the scheduling surface of sim.Engine.
+type Engine struct {
+	now Time
+}
+
+// Now reports current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn at absolute time t.
+func (e *Engine) At(t Time, fn func()) {}
+
+// After schedules fn d ticks from now.
+func (e *Engine) After(d Time, fn func()) {}
+
+// AtArg schedules the pre-bound (fn, arg) pair at absolute time t.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) {}
+
+// AfterArg schedules the pre-bound (fn, arg) pair d ticks from now.
+func (e *Engine) AfterArg(d Time, fn func(any), arg any) {}

@@ -1,0 +1,59 @@
+// Package timerarg exercises the timerarg analyzer: hot packages must
+// schedule with the pre-bound AtArg/AfterArg forms (or an embedded
+// sim.Timer) instead of allocating a closure per event.
+package timerarg
+
+import "sim"
+
+// xfer is a pooled per-event record, the shape AtArg is built for.
+type xfer struct {
+	v int
+}
+
+// comp is a component holding an engine, mirroring the real hot paths.
+type comp struct {
+	eng *sim.Engine
+	rec *xfer
+}
+
+// process is a package-level func(any) handler — statically allocated,
+// the first half of the pooled-record idiom.
+func process(a any) {}
+
+// flaggedClosure schedules a capturing closure: one heap allocation per
+// scheduled event.
+func (c *comp) flaggedClosure(t sim.Time) {
+	x := 42
+	c.eng.At(t, func() { sink(x) }) // want "closure capturing"
+}
+
+// flaggedMethodValue passes a method value, which binds the receiver
+// into a fresh closure at every call site.
+func (c *comp) flaggedMethodValue(d sim.Time) {
+	c.eng.After(d, c.tick) // want "method value"
+}
+
+// tick is the method bound above.
+func (c *comp) tick() {}
+
+// allowedPreBound is the accepted idiom: a static handler plus a pooled
+// record, nothing allocated at schedule time.
+func (c *comp) allowedPreBound(t sim.Time) {
+	c.eng.AtArg(t, process, c.rec)
+}
+
+// allowedNonCapturing shows that a closure with an empty environment is
+// fine: the compiler statically allocates it.
+func (c *comp) allowedNonCapturing(t sim.Time) {
+	c.eng.At(t, func() {})
+}
+
+// suppressed shows a justified suppression for setup-time scheduling,
+// where one allocation per run is irrelevant.
+func (c *comp) suppressed(t sim.Time, done chan struct{}) {
+	//lint:timer-ok setup-time one-shot, a single event per run
+	c.eng.At(t, func() { close(done) })
+}
+
+// sink keeps captured values live.
+func sink(int) {}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TimerArg flags allocation-bearing callback arguments to the closure
+// form of engine scheduling — sim.Engine.At and After — in the hot
+// packages. PRs 3–4 moved every per-event schedule to the pre-bound
+// (fn, arg) idiom: AtArg/AfterArg with a package-level dispatch function
+// and a pooled record, or an embedded sim.Timer bound once at Init. A
+// capturing closure handed to At/After undoes that — one environment
+// allocation per scheduled event, exactly the churn the 36s→14.5s
+// trajectory eliminated.
+//
+// Flagged argument shapes:
+//
+//   - func literals that capture outer variables (environment allocation
+//     per call site execution)
+//   - method values (x.M used as a value allocates a bound-method closure)
+//
+// Pre-bound values — a package-level func, a stored func field, a
+// non-capturing literal — pass. Setup-time scheduling (building a machine,
+// not running it) can waive with `//lint:timer-ok <reason>`.
+var TimerArg = &Analyzer{
+	Name:      "timerarg",
+	Doc:       "flags capturing closures passed to Engine.At/After in hot packages (use AtArg/AfterArg + pooled records)",
+	AppliesTo: isHotPkg,
+	Run:       runTimerArg,
+}
+
+func runTimerArg(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := Callee(p.Pkg.Info, call)
+			if !isEngineClosureSchedule(fn) || len(call.Args) != 2 {
+				return true
+			}
+			arg := ast.Unparen(call.Args[1])
+			switch a := arg.(type) {
+			case *ast.FuncLit:
+				if captured := capturedVars(p.Pkg.Info, a); len(captured) > 0 {
+					p.Reportf(arg.Pos(), DirTimerOK,
+						"closure capturing %v passed to Engine.%s allocates per event: use %sArg with a pooled record, or justify with //lint:timer-ok",
+						captured, fn.Name(), fn.Name())
+				}
+			case *ast.SelectorExpr:
+				if sel, ok := p.Pkg.Info.Selections[a]; ok && sel.Kind() == types.MethodVal {
+					p.Reportf(arg.Pos(), DirTimerOK,
+						"method value passed to Engine.%s allocates a bound closure per call: use %sArg or an embedded sim.Timer, or justify with //lint:timer-ok",
+						fn.Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isEngineClosureSchedule matches the methods (*sim.Engine).At and
+// (*sim.Engine).After. Matching is by receiver type name and declaring
+// package base name so the fixture's stub sim package exercises the
+// check.
+func isEngineClosureSchedule(fn *types.Func) bool {
+	if fn == nil || (fn.Name() != "At" && fn.Name() != "After") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	if fn.Pkg() == nil || pkgBase(fn.Pkg().Path()) != "sim" {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	return ok && named.Obj().Name() == "Engine"
+}

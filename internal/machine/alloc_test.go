@@ -1,0 +1,63 @@
+package machine
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"gs1280/internal/sim"
+	"gs1280/internal/topology"
+)
+
+// dmaChase issues count dependent DMA accesses through an I/O port, one
+// in flight at a time, cycling over a window of lines lines at base. The
+// step callback is bound once, so the measured path is purely the port:
+// link acquisition, the pooled transfer record, its embedded timer, and
+// the coherent access underneath.
+func dmaChase(m *GS1280, port *ioPort, base int64, lines, count int) {
+	i := 0
+	var step func(sim.Time)
+	step = func(sim.Time) {
+		if i >= count {
+			return
+		}
+		addr := base + int64(i%lines)*64
+		i++
+		port.Access(addr, false, step)
+	}
+	step(0)
+	m.Eng.Run()
+}
+
+// TestIOPortAccessZeroAlloc guards ioPort.Access (//gs:noalloc): a
+// steady-state DMA stream must run on recycled transfer records without
+// a single heap allocation. The previous ioPort implementation bound
+// three fresh closures per access — roughly 10 million allocations over
+// a fig28 run — which is exactly the regression class this pins out.
+func TestIOPortAccessZeroAlloc(t *testing.T) {
+	m := NewGS1280(GS1280Config{W: 2, H: 2})
+	port := &ioPort{
+		inner: gs1280Port{coh: m.Coh, id: topology.NodeID(0)},
+		eng:   m.Eng,
+		link:  sim.NewResource(m.Eng),
+	}
+	base := m.RegionBase(0)
+
+	// Warm lap: creates the transfer record, directory entries and cache
+	// fills for the window, and grows the event wheel to steady state.
+	const lines = 64
+	dmaChase(m, port, base, lines, 4*lines)
+
+	const ops = 20000
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	dmaChase(m, port, base, lines, ops)
+	runtime.ReadMemStats(&m1)
+	if perOp := float64(m1.Mallocs-m0.Mallocs) / float64(ops); perOp > 0.01 {
+		t.Errorf("DMA access path allocates %.4f allocs/op, want 0", perOp)
+	}
+	if perOp := float64(m1.TotalAlloc-m0.TotalAlloc) / float64(ops); perOp > 2 {
+		t.Errorf("DMA access path allocates %.2f bytes/op, want 0", perOp)
+	}
+}

@@ -101,6 +101,8 @@ type completion struct {
 // runCompletion dispatches a pooled completion: the record is released
 // before the callback runs, because the callback may immediately issue
 // another access and want the record back.
+//
+//gs:noalloc guard=TestAccessBgAtZeroAlloc
 func runCompletion(a any) {
 	cp := a.(*completion)
 	done, lat := cp.done, cp.doneAt-cp.issued
@@ -162,6 +164,8 @@ func (c *Controller) Access(addr int64, write bool, done func(lat sim.Time)) {
 // layer's home-side directory reads and victim writes): the caller arms
 // its transaction record's embedded timer for the returned instant, so
 // nothing on this path touches the heap.
+//
+//gs:noalloc guard=TestCoherenceFastPathAllocs
 func (c *Controller) AccessAt(addr int64, write bool) sim.Time {
 	return c.schedule(addr, write, false)
 }
@@ -175,6 +179,8 @@ func (c *Controller) AccessAt(addr int64, write bool) sim.Time {
 // bus state, so AccessBgAt stays synchronous, deterministic and
 // allocation-free like AccessAt — and degenerates to it whenever the bus
 // is idle or every access is demand.
+//
+//gs:noalloc guard=TestAccessBgAtZeroAlloc
 func (c *Controller) AccessBgAt(addr int64, write bool) sim.Time {
 	return c.schedule(addr, write, c.params.CritAware)
 }

@@ -81,6 +81,8 @@ func (l *link) adaptiveFree(c Class) bool {
 // enqueue accepts a packet whose routing decision has been made. adaptive
 // indicates the packet holds an adaptive credit (already counted by the
 // caller).
+//
+//gs:noalloc guard=TestLinkPumpHotPathZeroAlloc
 func (l *link) enqueue(p *Packet) {
 	p.enqueuedAt = l.net.eng.Now()
 	l.queues[p.Class].push(p)
@@ -113,6 +115,8 @@ func (l *link) schedulePump(t sim.Time) {
 // disarms before this runs, and armed wakeups are never superseded, so
 // every dispatch is current — the stale-wakeup drop the pre-timer engine
 // needed is gone by construction.
+//
+//gs:noalloc guard=TestLinkPumpHotPathZeroAlloc
 func (l *link) pump() {
 	if l.failed {
 		// A failed wire moves nothing and does not rearm; FailLink already
@@ -189,6 +193,8 @@ func (l *link) pop() *Packet {
 // promoted packets are always a prefix of the queue, and a uniform-rank
 // queue stays uniform-prefix-promoted with its earliest packet still
 // winning.
+//
+//gs:noalloc guard=TestCritArbHotPathZeroAlloc
 func (l *link) critSelect(q *pktRing) int {
 	now := l.net.eng.Now()
 	limit := l.net.params.CritAgeLimit

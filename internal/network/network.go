@@ -175,8 +175,14 @@ func (n *Network) serTime(size int) sim.Time {
 // packetRoute, packetArrive and packetDeliver are the pre-bound phase
 // callbacks shared by every packet; the packet itself is the argument, so
 // binding a packet's timers allocates nothing beyond the packet.
-func packetRoute(a any)   { p := a.(*Packet); p.net.route(p, p.cur) }
-func packetArrive(a any)  { p := a.(*Packet); p.net.arrive(p, p.via) }
+//
+//gs:noalloc guard=TestLinkPumpHotPathZeroAlloc
+func packetRoute(a any) { p := a.(*Packet); p.net.route(p, p.cur) }
+
+//gs:noalloc guard=TestLinkPumpHotPathZeroAlloc
+func packetArrive(a any) { p := a.(*Packet); p.net.arrive(p, p.via) }
+
+//gs:noalloc guard=TestLinkPumpHotPathZeroAlloc
 func packetDeliver(a any) { p := a.(*Packet); p.net.deliver(p) }
 
 // Send injects p at p.Src. Local-destination packets are delivered after
@@ -191,6 +197,8 @@ func packetDeliver(a any) { p := a.(*Packet); p.net.deliver(p) }
 // whole flight allocates nothing. A reused packet must only ever be sent
 // through the network that first carried it, and never while a previous
 // flight is still in progress.
+//
+//gs:noalloc guard=TestCoherenceFastPathAllocs
 func (n *Network) Send(p *Packet) {
 	if p.OnDeliver == nil {
 		panic("network: packet without OnDeliver")

@@ -89,7 +89,7 @@ func (r *pktRing) grow() {
 	if newCap == 0 {
 		newCap = 8
 	}
-	buf := make([]*Packet, newCap)
+	buf := make([]*Packet, newCap) //lint:alloc-ok ring growth, amortized doubling to steady-state depth
 	for i := 0; i < r.n; i++ {
 		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
 	}

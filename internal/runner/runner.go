@@ -134,7 +134,12 @@ func Run(ctx context.Context, ids []string, opts Options) ([]Result, error) {
 					continue // cancelled: drain the queue without running
 				}
 				st := states[j.exp]
-				start := time.Now()
+				// Wall-clock progress timing, allowlisted for detsource: these
+				// readings feed only the OnUnit progress callback and the
+				// Work/Elapsed report fields — simulated state runs entirely on
+				// sim.Engine time and never observes them (the golden -j1/-j8
+				// fixtures would catch it if it did).
+				start := time.Now() //lint:wallclock-ok progress/report timing only, never feeds simulated state
 				mu.Lock()
 				if !st.started {
 					st.started, st.start = true, start
@@ -143,7 +148,7 @@ func Run(ctx context.Context, ids []string, opts Options) ([]Result, error) {
 
 				env.BeginUnit()
 				part := st.units[j.unit].Run(env)
-				elapsed := time.Since(start)
+				elapsed := time.Since(start) //lint:wallclock-ok progress/report timing only, never feeds simulated state
 
 				mu.Lock()
 				st.parts[j.unit] = part
@@ -170,7 +175,7 @@ func Run(ctx context.Context, ids []string, opts Options) ([]Result, error) {
 					mu.Lock()
 					results[j.exp].Table = tab
 					results[j.exp].Work = st.work
-					results[j.exp].Elapsed = time.Since(st.start)
+					results[j.exp].Elapsed = time.Since(st.start) //lint:wallclock-ok progress/report timing only, never feeds simulated state
 					mu.Unlock()
 				}
 			}

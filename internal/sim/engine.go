@@ -164,6 +164,8 @@ func (e *Engine) After(d Time, fn func()) {
 // or package function) and arg is a pooled pointer, so steady-state
 // scheduling touches no heap once the node pool is warm. The coherence,
 // memctrl and cpu hot paths all schedule through it.
+//
+//gs:noalloc guard=TestEngineAtArgZeroAlloc
 func (e *Engine) AtArg(t Time, fn func(any), arg any) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
@@ -175,6 +177,8 @@ func (e *Engine) AtArg(t Time, fn func(any), arg any) {
 }
 
 // AfterArg schedules fn(arg) to run d after the current time.
+//
+//gs:noalloc guard=TestEngineAtArgZeroAlloc
 func (e *Engine) AfterArg(d Time, fn func(any), arg any) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
@@ -189,7 +193,7 @@ func (e *Engine) getNode() *timerNode {
 		e.free = e.free[:k-1]
 		return n
 	}
-	return &timerNode{pooled: true}
+	return &timerNode{pooled: true} //lint:alloc-ok node-pool refill, amortized across the run
 }
 
 // release returns a dispatched or cleared node to the pool (pooled nodes
@@ -470,6 +474,8 @@ func (e *Engine) peekTime() (Time, bool) {
 
 // Step executes the single next event. It reports false when no events
 // remain or Stop has been called.
+//
+//gs:noalloc guard=TestEngineAtArgZeroAlloc
 func (e *Engine) Step() bool {
 	if e.stopped {
 		return false

@@ -64,6 +64,8 @@ func (t *Timer) Armed() bool { return t.n.where != whereIdle }
 func (t *Timer) When() Time { return t.n.at }
 
 // Schedule arms the timer to fire d after the current time.
+//
+//gs:noalloc guard=TestLinkPumpHotPathZeroAlloc
 func (t *Timer) Schedule(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
@@ -72,6 +74,8 @@ func (t *Timer) Schedule(d Time) {
 }
 
 // ScheduleAt arms the timer to fire at absolute time at.
+//
+//gs:noalloc guard=TestLinkPumpHotPathZeroAlloc
 func (t *Timer) ScheduleAt(at Time) {
 	e := t.eng
 	if e == nil {
@@ -90,6 +94,8 @@ func (t *Timer) ScheduleAt(at Time) {
 
 // Cancel disarms the timer, reporting whether it was armed. The pending
 // event, if any, is removed without dispatching.
+//
+//gs:noalloc guard=TestLinkPumpHotPathZeroAlloc
 func (t *Timer) Cancel() bool {
 	if !t.Armed() {
 		return false
@@ -100,6 +106,8 @@ func (t *Timer) Cancel() bool {
 
 // Reschedule moves the timer to fire d after the current time, cancelling
 // any pending event first.
+//
+//gs:noalloc guard=TestLinkPumpHotPathZeroAlloc
 func (t *Timer) Reschedule(d Time) {
 	t.Cancel()
 	t.Schedule(d)
@@ -107,6 +115,8 @@ func (t *Timer) Reschedule(d Time) {
 
 // RescheduleAt moves the timer to fire at absolute time at, cancelling any
 // pending event first.
+//
+//gs:noalloc guard=TestLinkPumpHotPathZeroAlloc
 func (t *Timer) RescheduleAt(at Time) {
 	t.Cancel()
 	t.ScheduleAt(at)

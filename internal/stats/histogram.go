@@ -75,6 +75,8 @@ func bucketBounds(b int) (lo, hi int64) {
 }
 
 // Record adds one sample. It allocates nothing.
+//
+//gs:noalloc guard=TestHistogramRecordZeroAlloc
 func (h *Histogram) Record(v int64) {
 	if v < 0 {
 		v = 0

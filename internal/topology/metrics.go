@@ -68,10 +68,12 @@ func (t *Topology) ensurePolicyTables() {
 	}
 	n := t.N()
 	d0 := t.bfsWithout(Shuffle)
+	//lint:alloc-ok one-time lazy table build per topology, cached in distBudget
 	step := func(prev [][]int16, allowShuffle bool) [][]int16 {
+		//lint:alloc-ok one-time lazy table build per topology, cached in distBudget
 		next := make([][]int16, n)
 		for src := 0; src < n; src++ {
-			row := make([]int16, n)
+			row := make([]int16, n) //lint:alloc-ok one-time lazy table build per topology
 			for dst := 0; dst < n; dst++ {
 				best := d0[src][dst]
 				if src != dst {
@@ -92,17 +94,17 @@ func (t *Topology) ensurePolicyTables() {
 	}
 	d1 := step(d0, true)
 	d2 := step(d1, true)
-	t.distBudget = [][][]int16{d0, d1, d2}
+	t.distBudget = [][][]int16{d0, d1, d2} //lint:alloc-ok one-time lazy table build per topology
 }
 
 // bfsWithout computes all-pairs distances using only edges whose direction
 // differs from excluded.
 func (t *Topology) bfsWithout(excluded Dir) [][]int16 {
 	n := t.N()
-	out := make([][]int16, n)
-	queue := make([]NodeID, 0, n)
+	out := make([][]int16, n)     //lint:alloc-ok one-time lazy table build per topology
+	queue := make([]NodeID, 0, n) //lint:alloc-ok one-time lazy table build per topology
 	for src := 0; src < n; src++ {
-		d := make([]int16, n)
+		d := make([]int16, n) //lint:alloc-ok one-time lazy table build per topology
 		for i := range d {
 			d[i] = -1
 		}

@@ -317,6 +317,7 @@ func Run(net *network.Network, cfg Config) Result {
 		s.stepT.ScheduleAt(s.firstAt(begin))
 	}
 	// Utilization and queue watermarks cover only the measured window.
+	//lint:timer-ok one-shot setup event per run, not per packet
 	eng.At(r.measureStart, net.ResetStats)
 	eng.RunUntil(r.end)
 	var sum float64
