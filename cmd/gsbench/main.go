@@ -6,6 +6,9 @@
 //	gsbench -run fig13
 //	gsbench -run all [-quick] [-j 8] [-csv | -json] [-progress]
 //	gsbench -run all [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	gsbench -run all -fleet 4 [-journal run.jsonl] [-unit-timeout 5m]
+//	gsbench -resume run.jsonl
+//	gsbench -worker
 //
 // Experiments (and the sweep points inside them) are independent
 // simulations, so -run all fans them across -j worker goroutines (default:
@@ -13,6 +16,14 @@
 // order with byte-identical contents for any -j. Tables go to stdout;
 // timing and progress go to stderr, so redirecting stdout captures clean
 // artifacts. Ctrl-C cancels the remaining runs.
+//
+// -fleet N dispatches units to N `gsbench -worker` subprocesses instead of
+// in-process goroutines: a crashed, hung (-unit-timeout), or corrupted
+// worker is respawned and its units reassigned, so one bad simulation
+// cannot take down the campaign. -journal records every completed unit
+// (fsynced JSONL) and -resume replays a journal — id list and -quick are
+// recovered from its header — executing only the missing units. Any fleet
+// shape, failure history, or resume point produces bytes identical to -j1.
 package main
 
 import (
@@ -29,6 +40,7 @@ import (
 	"time"
 
 	"gs1280/internal/experiments"
+	"gs1280/internal/fleet"
 	"gs1280/internal/runner"
 )
 
@@ -56,13 +68,27 @@ func main() {
 	progress := flag.Bool("progress", false, "report each finished simulation unit on stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file` (pprof format)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to `file` (pprof format)")
+	worker := flag.Bool("worker", false, "serve unit requests on stdin/stdout as a fleet worker (spawned by -fleet)")
+	fleetN := flag.Int("fleet", 0, "dispatch units to `N` gsbench -worker subprocesses with crash recovery")
+	journalPath := flag.String("journal", "", "record each completed unit to this JSONL `file` for -resume (fsynced)")
+	resume := flag.String("resume", "", "resume an interrupted run from its journal `file`; -run and -quick are taken from its header")
+	unitTimeout := flag.Duration("unit-timeout", 0, "kill and reassign a fleet worker that holds one unit longer than this (0 = no deadline)")
 	flag.Parse()
 
+	if *worker {
+		// Worker mode: stdout belongs to the frame protocol, so any
+		// failure detail goes to stderr and the exit code.
+		if err := fleet.WorkerMain(os.Stdin, os.Stdout, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "gsbench: worker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
 		return
 	}
-	if *run == "" {
+	if *run == "" && *resume == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -70,9 +96,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gsbench: -csv and -json are mutually exclusive")
 		os.Exit(2)
 	}
-	ids := []string{*run}
-	if *run == "all" {
+	var ids []string
+	switch {
+	case *run == "all":
 		ids = experiments.IDs()
+	case *run != "":
+		ids = []string{*run}
+	default:
+		// -resume without -run: the journal header names the suite.
+		var err error
+		var journalQuick bool
+		ids, journalQuick, err = fleet.JournalSuite(*resume)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gsbench: -resume: %v\n", err)
+			os.Exit(2)
+		}
+		*quick = journalQuick
 	}
 
 	// Profiling hooks so perf work can attach pprof evidence to a real
@@ -120,16 +159,42 @@ func main() {
 		stop()
 	}()
 
-	opts := runner.Options{Workers: *jobs, Quick: *quick}
+	var onUnit func(runner.UnitDone)
 	if *progress {
-		opts.OnUnit = func(ev runner.UnitDone) {
+		onUnit = func(ev runner.UnitDone) {
 			fmt.Fprintf(os.Stderr, "gsbench: [%3d/%3d] %-28s %v\n",
 				ev.Done, ev.Total, ev.Unit, ev.Elapsed.Round(time.Millisecond))
 		}
 	}
 
 	start := time.Now()
-	results, runErr := runner.Run(ctx, ids, opts)
+	var results []runner.Result
+	var runErr error
+	if *fleetN > 0 || *journalPath != "" || *resume != "" {
+		// Fleet path: subprocess workers when -fleet is set; otherwise an
+		// in-process fleet, which journals and resumes identically.
+		fopts := fleet.Options{
+			Workers:     *jobs,
+			Quick:       *quick,
+			JournalPath: *journalPath,
+			ResumeFrom:  *resume,
+			UnitTimeout: *unitTimeout,
+			OnUnit:      onUnit,
+			Transport:   &fleet.LocalTransport{},
+		}
+		if *fleetN > 0 {
+			exe, err := os.Executable()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gsbench: -fleet: %v\n", err)
+				os.Exit(2)
+			}
+			fopts.Workers = *fleetN
+			fopts.Transport = &fleet.ProcTransport{Argv: []string{exe, "-worker"}, Stderr: os.Stderr}
+		}
+		results, runErr = fleet.Run(ctx, ids, fopts)
+	} else {
+		results, runErr = runner.Run(ctx, ids, runner.Options{Workers: *jobs, Quick: *quick, OnUnit: onUnit})
+	}
 
 	exit := 0
 	cancelled := 0
@@ -174,8 +239,13 @@ func main() {
 		}
 	}
 	if len(ids) > 1 && runErr == nil {
-		fmt.Fprintf(os.Stderr, "gsbench: suite of %d experiments in %v with -j %d\n",
-			len(ids), time.Since(start).Round(time.Millisecond), *jobs)
+		if *fleetN > 0 {
+			fmt.Fprintf(os.Stderr, "gsbench: suite of %d experiments in %v with -fleet %d\n",
+				len(ids), time.Since(start).Round(time.Millisecond), *fleetN)
+		} else {
+			fmt.Fprintf(os.Stderr, "gsbench: suite of %d experiments in %v with -j %d\n",
+				len(ids), time.Since(start).Round(time.Millisecond), *jobs)
+		}
 	}
 	if runErr != nil {
 		if cancelled > 0 {
@@ -183,6 +253,13 @@ func main() {
 				runErr, cancelled, len(ids))
 		} else {
 			fmt.Fprintf(os.Stderr, "gsbench: %v\n", runErr)
+		}
+		// An interrupted journaled run is resumable: each completed unit
+		// was fsynced before it was acknowledged, so the journal is
+		// already durable — tell the user how to pick the run back up.
+		if errors.Is(runErr, context.Canceled) && *journalPath != "" {
+			fmt.Fprintf(os.Stderr, "gsbench: interrupted; resume with: gsbench -resume %s -journal %s\n",
+				*journalPath, *journalPath)
 		}
 		exit = 1
 	}

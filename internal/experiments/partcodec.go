@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Part and Table serialization for the fleet layer (internal/fleet): a
+// worker subprocess computes a Part and ships it back to the coordinator
+// as a JSON frame, and the coordinator's resume journal persists completed
+// Parts as JSONL records. Both demand a strict round-trip identity —
+// DecodePart(EncodePart(p)) must be reflect.DeepEqual to p — because the
+// determinism contract ("any fleet shape renders byte-identical tables to
+// -j1") rides on assembled Parts being bit-equal regardless of whether
+// they crossed a process boundary or a crash/resume cycle.
+//
+// The encoding is plain encoding/json over the exported Part/Table
+// fields, with one deliberate property: nil slices marshal as null and
+// decode back to nil, while non-nil empty slices marshal as [] and decode
+// back non-nil — so no omitempty tags, and identity holds for both shapes.
+// The wire format is pinned by the journal format-stability fixture in
+// internal/fleet (testdata/journal.v1.jsonl); changing field names or
+// structure here is a journal-format break and must version that fixture.
+
+// EncodePart renders p as its canonical JSON wire form.
+func EncodePart(p Part) ([]byte, error) {
+	b, err := json.Marshal(p)
+	if err != nil {
+		// Part holds only strings and string slices; Marshal cannot fail
+		// on well-formed values, but surface rather than swallow if a
+		// future field breaks that.
+		return nil, fmt.Errorf("experiments: encoding Part: %w", err)
+	}
+	return b, nil
+}
+
+// DecodePart parses a Part previously produced by EncodePart. The decoded
+// value is reflect.DeepEqual to the original, including nil-versus-empty
+// slice distinctions.
+func DecodePart(data []byte) (Part, error) {
+	var p Part
+	dec := json.NewDecoder(bytes.NewReader(data))
+	// Unknown fields are rejected so a journal written by a newer,
+	// incompatible format fails loudly at resume time instead of silently
+	// dropping table content.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Part{}, fmt.Errorf("experiments: decoding Part: %w", err)
+	}
+	return p, nil
+}

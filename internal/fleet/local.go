@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"gs1280/internal/experiments"
+)
+
+// errWorkerKilled reports an operation on a worker that has been torn
+// down (by Kill, or by an injected chaos crash).
+var errWorkerKilled = errors.New("fleet: worker killed")
+
+// LocalTransport runs workers as in-process goroutines executing units
+// directly — the fleet coordinator's journaling, retry and reassignment
+// machinery over the same in-memory execution the plain runner uses.
+// gsbench uses it when journaling is requested without subprocess
+// workers; it is also the healthy substrate the chaos transport wraps.
+type LocalTransport struct {
+	// Lookup resolves experiment ids; nil means the paper registry.
+	Lookup Lookup
+}
+
+// Spawn starts one worker goroutine with its own engine-pooling Env.
+func (t *LocalTransport) Spawn(_ context.Context, _ int) (Worker, error) {
+	w := &localWorker{
+		lookup: orRegistry(t.Lookup),
+		reqCh:  make(chan Request),
+		respCh: make(chan Response, 1),
+		killed: make(chan struct{}),
+	}
+	go w.loop()
+	return w, nil
+}
+
+// localWorker executes units on a dedicated goroutine, mirroring a
+// subprocess worker's one-request-at-a-time protocol: Send hands the
+// goroutine a request, Recv blocks for its response, Kill makes both
+// fail promptly (the in-memory analog of the process dying and its pipes
+// closing). The unit in flight at Kill time runs to completion on the
+// abandoned goroutine — exactly like a subprocess finishing a simulation
+// after the coordinator stopped listening — and its response is dropped.
+type localWorker struct {
+	lookup   Lookup
+	reqCh    chan Request
+	respCh   chan Response
+	killed   chan struct{}
+	killOnce sync.Once
+}
+
+func (w *localWorker) loop() {
+	env := experiments.NewEnv()
+	for {
+		select {
+		case req := <-w.reqCh:
+			select {
+			case w.respCh <- executeUnit(w.lookup, env, req):
+			case <-w.killed:
+				return
+			}
+		case <-w.killed:
+			return
+		}
+	}
+}
+
+func (w *localWorker) Send(req Request) error {
+	select {
+	case w.reqCh <- req:
+		return nil
+	case <-w.killed:
+		return errWorkerKilled
+	}
+}
+
+func (w *localWorker) Recv() (Response, error) {
+	select {
+	case resp := <-w.respCh:
+		return resp, nil
+	case <-w.killed:
+		return Response{}, errWorkerKilled
+	}
+}
+
+func (w *localWorker) Kill() {
+	w.killOnce.Do(func() { close(w.killed) })
+}

@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// ProcTransport spawns workers as subprocesses speaking length-prefixed
+// JSON frames over stdin/stdout. Argv is the full worker command line —
+// for production, []string{gsbenchPath, "-worker"}; tests re-exec the
+// test binary into a helper. Worker stderr is passed through to Stderr
+// (default os.Stderr) so crash stacks from a dying worker land somewhere
+// visible instead of vanishing with the process.
+type ProcTransport struct {
+	Argv   []string
+	Stderr io.Writer
+}
+
+// Spawn launches one worker subprocess with request/response pipes.
+func (t *ProcTransport) Spawn(ctx context.Context, slot int) (Worker, error) {
+	if len(t.Argv) == 0 {
+		return nil, fmt.Errorf("fleet: ProcTransport.Argv is empty")
+	}
+	cmd := exec.CommandContext(ctx, t.Argv[0], t.Argv[1:]...)
+	stderr := t.Stderr
+	if stderr == nil {
+		stderr = os.Stderr
+	}
+	cmd.Stderr = stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: worker %d stdin: %w", slot, err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: worker %d stdout: %w", slot, err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("fleet: spawning worker %d (%s): %w", slot, t.Argv[0], err)
+	}
+	return &procWorker{cmd: cmd, stdin: stdin, stdout: stdout}, nil
+}
+
+// procWorker wraps one live subprocess. A hung or corrupt worker is
+// abandoned via Kill: the process is killed, which closes its stdout and
+// unblocks any in-flight Recv with a read error.
+type procWorker struct {
+	cmd      *exec.Cmd
+	stdin    io.WriteCloser
+	stdout   io.ReadCloser
+	killOnce sync.Once
+}
+
+func (w *procWorker) Send(req Request) error { return WriteFrame(w.stdin, req) }
+
+func (w *procWorker) Recv() (Response, error) {
+	var resp Response
+	if err := ReadFrame(w.stdout, &resp); err != nil {
+		if err == io.EOF {
+			return Response{}, fmt.Errorf("fleet: worker exited mid-unit: %w", err)
+		}
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+// Kill tears the subprocess down and reaps it. Closing stdin first gives
+// a healthy worker its orderly-shutdown signal; the process kill covers
+// hung or wedged ones. cmd.Wait also closes the pipes, unblocking any
+// concurrent Recv.
+func (w *procWorker) Kill() {
+	w.killOnce.Do(func() {
+		w.stdin.Close()
+		if w.cmd.Process != nil {
+			w.cmd.Process.Kill()
+		}
+		w.cmd.Wait()
+	})
+}

@@ -1,0 +1,164 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gs1280/internal/experiments"
+)
+
+// syntheticLookup builds a Lookup over hand-made specs, so failure-path
+// tests don't need to sabotage the real paper registry.
+func syntheticLookup(specs ...experiments.Spec) func(string) (experiments.Spec, bool) {
+	return func(id string) (experiments.Spec, bool) {
+		for _, s := range specs {
+			if s.ID == id {
+				return s, true
+			}
+		}
+		return experiments.Spec{}, false
+	}
+}
+
+// rowSpec is a trivial n-unit sweep: unit i contributes one row ["id[i]"].
+// Unit panicAt (if >= 0) panics instead.
+func rowSpec(id string, n, panicAt int) experiments.Spec {
+	return experiments.Spec{
+		ID: id,
+		Units: func(bool) []experiments.Unit {
+			units := make([]experiments.Unit, n)
+			for i := range units {
+				i := i
+				units[i] = experiments.Unit{
+					Name: fmt.Sprintf("%s[%d]", id, i),
+					Run: func(*experiments.Env) experiments.Part {
+						if i == panicAt {
+							panic("synthetic unit failure")
+						}
+						return experiments.Part{Rows: [][]string{{fmt.Sprintf("%s[%d]", id, i)}}}
+					},
+				}
+			}
+			return units
+		},
+		Assemble: func(_ bool, parts []experiments.Part) *experiments.Table {
+			t := &experiments.Table{ID: id, Header: []string{"unit"}}
+			for _, p := range parts {
+				t.Rows = append(t.Rows, p.Rows...)
+			}
+			return t
+		},
+	}
+}
+
+// TestUnitPanicIsContained: a panicking unit must become that experiment's
+// Result.Err — naming the unit and carrying a stack — while sibling
+// experiments run to completion. Before panic containment this tore down
+// the whole process.
+func TestUnitPanicIsContained(t *testing.T) {
+	lookup := syntheticLookup(rowSpec("bad", 4, 2), rowSpec("good", 6, -1))
+	for _, workers := range []int{1, 4} {
+		results, err := Run(context.Background(), []string{"bad", "good"},
+			Options{Workers: workers, Quick: true, Lookup: lookup})
+		if err != nil {
+			t.Fatalf("j=%d: suite-level error: %v", workers, err)
+		}
+		bad, good := results[0], results[1]
+		if bad.Err == nil {
+			t.Fatalf("j=%d: panicking experiment reported no error", workers)
+		}
+		for _, want := range []string{"bad[2]", "panicked", "synthetic unit failure", "panic_test.go"} {
+			if !strings.Contains(bad.Err.Error(), want) {
+				t.Errorf("j=%d: panic error %q missing %q", workers, bad.Err, want)
+			}
+		}
+		if bad.Table != nil {
+			t.Errorf("j=%d: panicking experiment still produced a table", workers)
+		}
+		if good.Err != nil || good.Table == nil {
+			t.Fatalf("j=%d: sibling experiment should finish: %+v", workers, good)
+		}
+		if len(good.Table.Rows) != 6 {
+			t.Errorf("j=%d: sibling lost rows: got %d want 6", workers, len(good.Table.Rows))
+		}
+	}
+}
+
+// TestSlowProgressSinkDoesNotSerializeWorkers: OnUnit used to run under
+// the bookkeeping mutex, so a stalled sink blocked every worker's result
+// bookkeeping — and with it all remaining job pickup. The test makes the
+// first callback block until every unit body has executed: under the
+// drained (off-lock) design the workers sail on and the gate opens in
+// milliseconds; under the old design the suite wedges and the gate times
+// out with most units never run.
+func TestSlowProgressSinkDoesNotSerializeWorkers(t *testing.T) {
+	const units = 8
+	var bodiesRun atomic.Int32
+	counting := experiments.Spec{
+		ID: "counting",
+		Units: func(bool) []experiments.Unit {
+			us := make([]experiments.Unit, units)
+			for i := range us {
+				i := i
+				us[i] = experiments.Unit{
+					Name: fmt.Sprintf("counting[%d]", i),
+					Run: func(*experiments.Env) experiments.Part {
+						bodiesRun.Add(1)
+						return experiments.Part{Rows: [][]string{{fmt.Sprintf("%d", i)}}}
+					},
+				}
+			}
+			return us
+		},
+		Assemble: func(_ bool, parts []experiments.Part) *experiments.Table {
+			t := &experiments.Table{ID: "counting"}
+			for _, p := range parts {
+				t.Rows = append(t.Rows, p.Rows...)
+			}
+			return t
+		},
+	}
+	var events []UnitDone // appended only by the drain goroutine, read after Run returns
+	sawAllBodies := false
+	results, err := Run(context.Background(), []string{"counting"}, Options{
+		Workers: 2,
+		Lookup:  syntheticLookup(counting),
+		OnUnit: func(ev UnitDone) {
+			if ev.Done == 1 {
+				// Stall the sink until all unit bodies have run. If the
+				// callback were still invoked under the bookkeeping lock,
+				// workers could never record results or pick up the queued
+				// units and this would spin to the deadline.
+				deadline := time.Now().Add(5 * time.Second)
+				for bodiesRun.Load() < units && time.Now().Before(deadline) {
+					time.Sleep(time.Millisecond)
+				}
+				sawAllBodies = bodiesRun.Load() == units
+			}
+			events = append(events, ev)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	if !sawAllBodies {
+		t.Fatalf("progress sink blocked the workers: only %d/%d unit bodies ran while the first callback was in flight",
+			bodiesRun.Load(), units)
+	}
+	// Delivery is still complete and in per-unit order.
+	if len(events) != units {
+		t.Fatalf("got %d progress events, want %d", len(events), units)
+	}
+	for i, ev := range events {
+		if ev.Done != i+1 || ev.Total != units {
+			t.Errorf("event %d out of order: done/total = %d/%d", i, ev.Done, ev.Total)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -32,9 +33,14 @@ type Options struct {
 	// Quick selects the reduced sweeps (see package experiments).
 	Quick bool
 	// OnUnit, if non-nil, is called after every completed unit. Calls are
-	// serialized and report suite-wide progress; keep the callback cheap,
-	// as it briefly blocks result bookkeeping.
+	// serialized on a dedicated goroutine in unit-completion order, off
+	// the result-bookkeeping lock — a slow progress sink delays reporting,
+	// never the workers. All callbacks return before Run does.
 	OnUnit func(UnitDone)
+	// Lookup resolves an experiment id to its Spec. Nil means
+	// experiments.SpecByID — the paper registry. Tests (and the fleet
+	// chaos harness) inject synthetic suites here.
+	Lookup func(id string) (experiments.Spec, bool)
 }
 
 // UnitDone describes one completed unit for progress reporting.
@@ -51,7 +57,7 @@ type UnitDone struct {
 type Result struct {
 	ID    string
 	Table *experiments.Table // nil when Err is set
-	Err   error              // unknown id, or the context's error if cancelled
+	Err   error              // unknown id, a unit panic, or the context's error if cancelled
 	Units int                // number of units the experiment split into
 	// Work sums the wall-clock of the experiment's units — the cost a
 	// serial run would pay. Elapsed spans the first unit starting to the
@@ -71,6 +77,21 @@ type expState struct {
 	started   bool
 	start     time.Time
 	work      time.Duration
+	err       error // first unit panic; the experiment's table is abandoned
+}
+
+// runUnit executes one unit with panic containment: a panicking unit is
+// converted into an error naming the unit and carrying its stack, instead
+// of tearing down the process and losing every completed result. The
+// worker goroutine survives and moves on to the next unit.
+func runUnit(env *experiments.Env, u experiments.Unit) (part experiments.Part, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: unit %s panicked: %v\n%s", u.Name, r, debug.Stack())
+		}
+	}()
+	env.BeginUnit()
+	return u.Run(env), nil
 }
 
 // Run executes the experiments named by ids, fanning their units across
@@ -87,13 +108,18 @@ func Run(ctx context.Context, ids []string, opts Options) ([]Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	lookup := opts.Lookup
+	if lookup == nil {
+		lookup = experiments.SpecByID
+	}
+
 	results := make([]Result, len(ids))
 	states := make([]*expState, len(ids))
 	type job struct{ exp, unit int }
 	var jobs []job
 	for i, id := range ids {
 		results[i].ID = id
-		spec, ok := experiments.SpecByID(id)
+		spec, ok := lookup(id)
 		if !ok {
 			results[i].Err = fmt.Errorf("runner: unknown experiment id %q (see experiments.IDs)", id)
 			continue
@@ -117,6 +143,24 @@ func Run(ctx context.Context, ids []string, opts Options) ([]Result, error) {
 		done int
 		wg   sync.WaitGroup
 	)
+	// Progress events are handed to the OnUnit sink by a dedicated drain
+	// goroutine, not under mu: workers enqueue a snapshot while holding the
+	// lock (capacity == total units, each unit sends exactly once, so the
+	// send can never block) and the drain goroutine invokes the callback in
+	// enqueue order. Per-unit ordering of Done counts is preserved, and a
+	// slow sink no longer serializes result bookkeeping across workers.
+	var progressCh chan UnitDone
+	var progressDone chan struct{}
+	if opts.OnUnit != nil {
+		progressCh = make(chan UnitDone, total)
+		progressDone = make(chan struct{})
+		go func() {
+			defer close(progressDone)
+			for ev := range progressCh {
+				opts.OnUnit(ev)
+			}
+		}()
+	}
 	jobCh := make(chan job)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -146,34 +190,43 @@ func Run(ctx context.Context, ids []string, opts Options) ([]Result, error) {
 				}
 				mu.Unlock()
 
-				env.BeginUnit()
-				part := st.units[j.unit].Run(env)
+				part, uerr := runUnit(env, st.units[j.unit])
 				elapsed := time.Since(start) //lint:wallclock-ok progress/report timing only, never feeds simulated state
 
 				mu.Lock()
 				st.parts[j.unit] = part
+				if uerr != nil && st.err == nil {
+					st.err = uerr // first panic wins; siblings still run
+				}
 				st.work += elapsed
 				st.remaining--
 				last := st.remaining == 0
+				expErr := st.err
 				done++
-				if opts.OnUnit != nil {
-					opts.OnUnit(UnitDone{
+				if progressCh != nil {
+					progressCh <- UnitDone{
 						Experiment: results[j.exp].ID,
 						Unit:       st.units[j.unit].Name,
 						Done:       done,
 						Total:      total,
 						Elapsed:    elapsed,
-					})
+					}
 				}
 				mu.Unlock()
 
 				if last {
 					// The worker finishing the final unit assembles; parts
 					// are merged in unit order, so the table is identical
-					// whatever the completion interleaving was.
-					tab := st.spec.Assemble(opts.Quick, st.parts)
+					// whatever the completion interleaving was. A panicked
+					// experiment is never assembled — its parts are
+					// incomplete — and reports the panic instead.
+					var tab *experiments.Table
+					if expErr == nil {
+						tab = st.spec.Assemble(opts.Quick, st.parts)
+					}
 					mu.Lock()
 					results[j.exp].Table = tab
+					results[j.exp].Err = expErr
 					results[j.exp].Work = st.work
 					results[j.exp].Elapsed = time.Since(st.start) //lint:wallclock-ok progress/report timing only, never feeds simulated state
 					mu.Unlock()
@@ -186,6 +239,10 @@ func Run(ctx context.Context, ids []string, opts Options) ([]Result, error) {
 	}
 	close(jobCh)
 	wg.Wait()
+	if progressCh != nil {
+		close(progressCh)
+		<-progressDone // every callback returns before Run does
+	}
 
 	if err := ctx.Err(); err != nil {
 		for i, st := range states {
