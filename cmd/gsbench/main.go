@@ -58,6 +58,22 @@ type jsonTable struct {
 	ElapsedMS float64    `json:"elapsed_ms"`
 }
 
+// workerConflict names the first coordinator-only flag set alongside
+// -worker, or "" if the combination is valid. A worker is a subprocess
+// serving the frame protocol on stdin/stdout; it cannot itself dispatch a
+// fleet, write a journal, or resume one.
+func workerConflict(fleetN int, journalPath, resume string) string {
+	switch {
+	case fleetN > 0:
+		return "-fleet"
+	case journalPath != "":
+		return "-journal"
+	case resume != "":
+		return "-resume"
+	}
+	return ""
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	run := flag.String("run", "", `experiment id to run (or "all")`)
@@ -76,6 +92,10 @@ func main() {
 	flag.Parse()
 
 	if *worker {
+		if conflict := workerConflict(*fleetN, *journalPath, *resume); conflict != "" {
+			fmt.Fprintf(os.Stderr, "gsbench: -worker is a fleet subprocess role and cannot combine with %s\n", conflict)
+			os.Exit(2)
+		}
 		// Worker mode: stdout belongs to the frame protocol, so any
 		// failure detail goes to stderr and the exit code.
 		if err := fleet.WorkerMain(os.Stdin, os.Stdout, nil); err != nil {

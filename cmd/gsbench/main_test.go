@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+// TestWorkerConflict pins the flag-validation contract: -worker refuses
+// every coordinator-only flag with a clear one-line error naming the
+// offender, and accepts the plain invocation the fleet actually spawns.
+func TestWorkerConflict(t *testing.T) {
+	cases := []struct {
+		name            string
+		fleetN          int
+		journal, resume string
+		want            string
+	}{
+		{"plain worker", 0, "", "", ""},
+		{"with fleet", 4, "", "", "-fleet"},
+		{"with journal", 0, "run.jsonl", "", "-journal"},
+		{"with resume", 0, "", "run.jsonl", "-resume"},
+		{"fleet wins ordering", 4, "run.jsonl", "run.jsonl", "-fleet"},
+	}
+	for _, c := range cases {
+		if got := workerConflict(c.fleetN, c.journal, c.resume); got != c.want {
+			t.Errorf("%s: workerConflict = %q, want %q", c.name, got, c.want)
+		}
+	}
+}

@@ -78,8 +78,8 @@ func TestXmeshRender(t *testing.T) {
 
 func TestExperimentRegistryExposed(t *testing.T) {
 	ids := gs1280.ExperimentIDs()
-	if len(ids) != 35 {
-		t.Fatalf("%d experiment ids, want 35 (24 figures + table 1 + fig16x17 + 3 saturation sweeps + 2 degraded-fabric sweeps + 3 tail-latency sweeps + ablation)", len(ids))
+	if len(ids) != 37 {
+		t.Fatalf("%d experiment ids, want 37 (24 figures + table 1 + fig16x17 + 3 saturation sweeps + 2 degraded-fabric sweeps + 3 tail-latency sweeps + 2 flaky-fabric sweeps + ablation)", len(ids))
 	}
 	if ids[0] != "fig1" || ids[len(ids)-1] != "ablation" {
 		t.Fatalf("unexpected ordering: %v", ids)

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFlakyHealthyRowsMatchSaturUniform pins the acceptance identity: the
+// ber=0 rows of flaky-satur are satur-uniform — every measured cell
+// byte-identical, because at probability zero the reliable layer is never
+// installed and the network takes the identical construction path.
+func TestFlakyHealthyRowsMatchSaturUniform(t *testing.T) {
+	base, err := Run("satur-uniform", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky, err := Run("flaky-satur", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var healthy [][]string
+	for _, r := range flaky.Rows {
+		if r[1] != "0" {
+			continue
+		}
+		// Shared columns: routing, rate, then the measured cells
+		// (delivered MB/s .. peak queue).
+		healthy = append(healthy, append([]string{r[0]}, r[2:9]...))
+		if r[10] != "0" || r[11] != "0" || r[12] != "0" {
+			t.Errorf("healthy row %v has nonzero reliable-link counters", r)
+		}
+	}
+	if len(healthy) != len(base.Rows) {
+		t.Fatalf("flaky-satur has %d healthy rows, satur-uniform %d", len(healthy), len(base.Rows))
+	}
+	for i := range healthy {
+		if !reflect.DeepEqual(healthy[i], base.Rows[i]) {
+			t.Errorf("healthy row %d diverges:\nflaky:    %v\nbaseline: %v", i, healthy[i], base.Rows[i])
+		}
+	}
+}
+
+// TestFlakySaturErrorTax pins the sweep's shape: every noisy sample still
+// delivers (exactly-once recovery, finite latency), retransmission
+// activity is nonzero wherever ber > 0, and recovery is paid for — at the
+// highest common rate the noisy fabric's p99 is no better than healthy.
+func TestFlakySaturErrorTax(t *testing.T) {
+	tab, err := Run("flaky-satur", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthyP99, noisyP99 := 0.0, 0.0
+	for _, r := range tab.Rows {
+		bw, lat := parse(t, r[3]), parse(t, r[4])
+		if bw <= 0 || lat <= 0 {
+			t.Errorf("row %v drained or stalled", r)
+		}
+		if r[0] != "adaptive" || r[2] != "60" {
+			continue
+		}
+		if r[1] == "0" {
+			healthyP99 = parse(t, r[9])
+			continue
+		}
+		noisyP99 = parse(t, r[9])
+		if parse(t, r[10]) == 0 || parse(t, r[11]) == 0 || parse(t, r[12]) == 0 {
+			t.Errorf("noisy row %v shows no retransmission activity", r)
+		}
+	}
+	if noisyP99 < healthyP99 {
+		t.Errorf("noisy p99 %v beats healthy p99 %v: recovery cannot be free", noisyP99, healthyP99)
+	}
+}
+
+// TestFlakyQuarantineAblation pins the ablation's logic: with the policy
+// off the bad cable is never removed (zero quarantines, zero reroutes from
+// quarantine), and with it on every sample trips exactly one quarantine
+// and reroutes traffic off the cable.
+func TestFlakyQuarantineAblation(t *testing.T) {
+	tab, err := Run("flaky-quarantine", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	for _, r := range tab.Rows {
+		rows++
+		if bw := parse(t, r[2]); bw <= 0 {
+			t.Errorf("row %v drained", r)
+		}
+		if parse(t, r[6]) == 0 || parse(t, r[7]) == 0 {
+			t.Errorf("row %v shows no error activity on the bad cable", r)
+		}
+		quar, reroutes := parse(t, r[9]), parse(t, r[10])
+		switch r[0] {
+		case "off":
+			if quar != 0 {
+				t.Errorf("mode off quarantined: %v", r)
+			}
+		case "quarantine":
+			if quar != 1 {
+				t.Errorf("quarantine mode tripped %v times, want 1: %v", quar, r)
+			}
+			if reroutes == 0 {
+				t.Errorf("quarantine fired but no queued packets rerouted: %v", r)
+			}
+		case "probation":
+			if quar == 0 {
+				t.Errorf("probation mode never quarantined: %v", r)
+			}
+		default:
+			t.Errorf("unknown mode %q", r[0])
+		}
+	}
+	if want := len(flakyQuarModes) * len(saturQuickRates); rows != want {
+		t.Fatalf("quick ablation has %d rows, want %d", rows, want)
+	}
+}

@@ -221,6 +221,8 @@ func Specs() []Spec {
 		tailSaturSpec(),
 		tailDegradedSpec(),
 		tailMissSpec(),
+		flakySaturSpec(),
+		flakyQuarantineSpec(),
 		whole("ablation", func(q bool) *Table {
 			if q {
 				return AblationLoadTest([]int{4, 30}, quickWarm, quickMeasure)

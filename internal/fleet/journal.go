@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"gs1280/internal/experiments"
 )
@@ -73,7 +74,11 @@ type journal struct {
 
 // createJournal starts a fresh journal at path (truncating any previous
 // file: starting a new run over an old journal is an explicit choice made
-// by not passing -resume) and durably writes its header line.
+// by not passing -resume) and durably writes its header line. The parent
+// directory is fsynced too: record fsyncs make the *contents* durable,
+// but a newly created name lives in the directory, and without the
+// directory sync a host crash can lose the whole file — every record
+// "durably" journaled into it included.
 func createJournal(path string, header journalHeader) (*journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -84,7 +89,24 @@ func createJournal(path string, header journalHeader) (*journal, error) {
 		f.Close()
 		return nil, err
 	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
 	return j, nil
+}
+
+// syncDir fsyncs a directory, making a just-created entry in it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fleet: opening journal directory: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("fleet: fsyncing journal directory: %w", err)
+	}
+	return nil
 }
 
 // openJournalAppend reopens an existing journal for appending after its

@@ -218,3 +218,26 @@ func TestReplayRejectsForeignRecords(t *testing.T) {
 		t.Error("out-of-range unit should be refused")
 	}
 }
+
+// TestCreateJournalSyncsParentDir pins the durability contract of journal
+// creation: the parent directory must exist and be fsyncable — a path
+// whose directory is gone fails at create time with a directory error,
+// not later at the first record append. (The positive half — that a
+// surviving directory entry implies a replayable file — is what every
+// other journal test exercises through createJournal.)
+func TestCreateJournalSyncsParentDir(t *testing.T) {
+	header, _ := fixtureRecords(t)
+	dir := t.TempDir()
+	j, err := createJournal(filepath.Join(dir, "journal.jsonl"), header)
+	if err != nil {
+		t.Fatalf("createJournal in a healthy directory: %v", err)
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := syncDir(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("syncDir of a nonexistent directory reported success")
+	} else if !strings.Contains(err.Error(), "journal directory") {
+		t.Fatalf("syncDir error %q does not name the journal directory", err)
+	}
+}

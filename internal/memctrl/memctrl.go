@@ -41,8 +41,12 @@ type Params struct {
 	// CritAware defers background accesses (victim and sharing
 	// writebacks, issued via AccessBgAt) behind the bus backlog demand
 	// traffic would add while they wait, prioritizing stall-path reads.
-	// Off by default; with it off — or with an idle bus, or with only
-	// demand traffic — scheduling is bit-identical to plain FIFO.
+	// The deferral adapts to the measured queue depth: an EWMA of the
+	// backlog observed at each access stands in for "the demand arriving
+	// while the writeback waits", clamped to twice the instantaneous
+	// backlog so a transient spike cannot starve writebacks. Off by
+	// default; with it off — or with an idle bus, or with only demand
+	// traffic — scheduling is bit-identical to plain FIFO.
 	CritAware bool
 }
 
@@ -82,6 +86,13 @@ type Controller struct {
 	// controller has at most a handful in flight, so the pool stays tiny
 	// and the steady-state access path allocates nothing.
 	free []*completion
+	// avgBacklog is an EWMA (gain 1/4) of the bus queue delay observed at
+	// each access — the measured demand pressure CritAware writebacks
+	// yield to. It decays to exactly zero on an idle bus, so the
+	// idle-bus identity reduction survives any history. Not statistics:
+	// ResetStats leaves it alone, because resetting it would change
+	// subsequent scheduling.
+	avgBacklog sim.Time
 
 	reads, writes, pageHits, pageMisses uint64
 }
@@ -173,12 +184,12 @@ func (c *Controller) AccessAt(addr int64, write bool) sim.Time {
 // AccessBgAt is AccessAt for background traffic — writebacks no
 // instruction is waiting on. With Params.CritAware off it is exactly
 // AccessAt. With it on, the access yields the bus: it acquires at
-// now + 2x the current queue delay instead of joining the backlog's
-// tail, modeling demand accesses that arrive during the wait being
-// scheduled ahead of it once. The deferral is a pure function of current
-// bus state, so AccessBgAt stays synchronous, deterministic and
-// allocation-free like AccessAt — and degenerates to it whenever the bus
-// is idle or every access is demand.
+// now + backlog + min(avgBacklog, 2x backlog) instead of joining the
+// backlog's tail, modeling the demand accesses that historically arrive
+// during such a wait being scheduled ahead of it once. The deferral is a
+// pure function of controller state, so AccessBgAt stays synchronous,
+// deterministic and allocation-free like AccessAt — and degenerates to
+// it whenever the bus is idle or every access is demand.
 //
 //gs:noalloc guard=TestAccessBgAtZeroAlloc
 func (c *Controller) AccessBgAt(addr int64, write bool) sim.Time {
@@ -207,9 +218,15 @@ func (c *Controller) schedule(addr int64, write bool, yield bool) sim.Time {
 	}
 
 	transfer := sim.TransferTime(c.params.LineBytes, c.params.Bandwidth)
+	qd := c.bus.QueueDelay()
+	c.avgBacklog += (qd - c.avgBacklog) >> 2
 	var start sim.Time
 	if yield {
-		start = c.bus.AcquireAt(c.eng.Now()+2*c.bus.QueueDelay(), transfer)
+		extra := c.avgBacklog
+		if lim := 2 * qd; extra > lim {
+			extra = lim
+		}
+		start = c.bus.AcquireAt(c.eng.Now()+qd+extra, transfer)
 	} else {
 		start = c.bus.Acquire(transfer)
 	}

@@ -56,6 +56,10 @@ func (n *Network) FailLink(k topology.LinkKey) {
 	for _, l := range [...]*link{a, b} {
 		l.failed = true
 		l.pumpT.Cancel()
+		// A reliable link clears its protocol state first: undelivered
+		// replay-ring packets requeue exactly like the queued ones below,
+		// and the epoch bump strands every in-flight xmit/ack record.
+		n.relReset(l)
 		n.requeueAll(l)
 	}
 }

@@ -48,6 +48,11 @@ type link struct {
 	// RestoreLink clears it.
 	failed bool
 
+	// rel is the reliable-delivery state (see reliable.go), installed only
+	// on links with a nonzero error probability; nil is the perfect-wire
+	// fast path, bit-identical to a build without the layer.
+	rel *relState
+
 	// Statistics, resettable by perfmon samplers.
 	busy      sim.Time
 	lastReset sim.Time
@@ -126,9 +131,13 @@ func (l *link) pump() {
 	}
 	now := l.net.eng.Now()
 	if l.freeAt > now {
-		if l.queued > 0 {
+		if l.queued > 0 || l.relPending() {
 			l.schedulePump(l.freeAt)
 		}
+		return
+	}
+	if l.rel != nil {
+		l.relPump(now)
 		return
 	}
 	p := l.pop()

@@ -43,6 +43,33 @@ type Params struct {
 	// output port to demand rank, so background traffic cannot starve
 	// behind a demand storm. Zero disables promotion.
 	CritAgeLimit sim.Time
+	// LinkDropRate and LinkCorruptRate are the per-packet-hop
+	// probabilities of the seeded link error model (see reliable.go):
+	// drop loses the transfer on the wire, corrupt delivers it with a
+	// failed CRC; either is recovered by per-hop retransmission. Both
+	// zero (the default) leaves the reliable layer uninstalled and the
+	// fabric bit-identical to one without it; per-link overrides via
+	// SetLinkError compose with these fabric-wide rates.
+	LinkDropRate, LinkCorruptRate float64
+	// LinkErrorSeed seeds the per-link error RNGs (mixed with each link's
+	// identity), so error schedules are reproducible and independent of
+	// traffic and of every other link.
+	LinkErrorSeed uint64
+	// RelWindow is the replay-ring depth of the per-hop retransmission
+	// protocol (unacked packets a sender may have outstanding). Zero
+	// means DefaultRelWindow.
+	RelWindow int
+	// RelRTO is the retransmit timeout. Zero derives a per-link default
+	// from the wire delay and a full window of data-packet serialization.
+	RelRTO sim.Time
+	// QuarantineThreshold auto-quarantines a link (FailLink + masked
+	// reroute) when at least this many of its last 64 transmissions
+	// errored. Zero disables auto-quarantine.
+	QuarantineThreshold int
+	// QuarantineProbation, when nonzero, restores a quarantined link
+	// after this long; a still-bad cable re-trips the threshold and flaps
+	// back out. Zero quarantines permanently.
+	QuarantineProbation sim.Time
 }
 
 // DefaultParams returns the GS1280 calibration.
@@ -106,6 +133,20 @@ type Network struct {
 	// deliver/pump paths. Reset by ResetStats with the link counters.
 	latHist [numCrits]stats.Histogram
 	resHist stats.Histogram
+
+	// Reliable-link accounting (see reliable.go): retransmits counts
+	// replay transmissions, droppedHops counts packet-hops destroyed on
+	// the wire (dropped or corrupted), ackMsgs counts sideband ack/nack
+	// control messages, quarantines counts auto-FailLink events. All
+	// cumulative like reroutes — fault-audit counters a sampler deltas.
+	// retryHist records, per criticality, how long recovered hops waited
+	// from first transmission to acceptance (window-reset with latHist).
+	retransmits, droppedHops, ackMsgs, quarantines uint64
+	retryHist                                      [numCrits]stats.Histogram
+
+	// Pooled in-flight records of the reliable layer.
+	relXmitFree []*relXmit
+	relAckFree  []*relAck
 }
 
 // New builds the interconnect for topo on eng.
@@ -142,6 +183,16 @@ func New(eng *sim.Engine, topo *topology.Topology, params Params) *Network {
 			n.dirLinks[id][e.Dir] = l
 		}
 		n.links[id] = row
+	}
+	if params.LinkDropRate > 0 || params.LinkCorruptRate > 0 {
+		// Fabric-wide error model: every link gets the reliable layer. At
+		// zero rates nothing is installed and no RNG exists, so healthy
+		// runs stay bit-identical to a build without the layer.
+		for id := range n.links {
+			for _, l := range n.links[id] {
+				n.installRel(l, params.LinkDropRate, params.LinkCorruptRate)
+			}
+		}
 	}
 	return n
 }
@@ -329,6 +380,38 @@ func (n *Network) Reroutes() uint64 { return n.reroutes }
 // failed links. Cumulative, like Reroutes.
 func (n *Network) NonMinimalHops() uint64 { return n.nonMinimalHops }
 
+// Retransmits reports replay transmissions by the reliable-link layer —
+// packet-hops sent again after a drop, corruption, nack, or timeout.
+// Cumulative, like Reroutes.
+func (n *Network) Retransmits() uint64 { return n.retransmits }
+
+// DroppedHops reports packet-hops destroyed on a lossy wire (dropped or
+// corrupted); each was recovered by retransmission. Cumulative.
+func (n *Network) DroppedHops() uint64 { return n.droppedHops }
+
+// AckOverhead reports sideband ack/nack control messages sent by the
+// reliable-link layer. Cumulative.
+func (n *Network) AckOverhead() uint64 { return n.ackMsgs }
+
+// Quarantines reports links auto-failed by the error-rate monitor.
+// Cumulative; a link that flaps through probation counts once per trip.
+func (n *Network) Quarantines() uint64 { return n.quarantines }
+
+// RetryHist reports the retry-latency histogram (picoseconds from a
+// hop's first transmission to its acceptance, recorded only for hops
+// that needed more than one attempt) for criticality c in the current
+// stats window. Same ownership rules as LatencyHist.
+func (n *Network) RetryHist(c Criticality) *stats.Histogram { return &n.retryHist[c] }
+
+// RetryLatency merges the per-criticality retry histograms into one.
+func (n *Network) RetryLatency() stats.Histogram {
+	var h stats.Histogram
+	for c := range n.retryHist {
+		h.Merge(&n.retryHist[c])
+	}
+	return h
+}
+
 // LinkStat is a utilization and occupancy snapshot of one directed link.
 type LinkStat struct {
 	From, To    topology.NodeID
@@ -476,6 +559,7 @@ func (n *Network) ResetStats() {
 	}
 	for c := range n.latHist {
 		n.latHist[c].Reset()
+		n.retryHist[c].Reset()
 	}
 	n.resHist.Reset()
 }

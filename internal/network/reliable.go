@@ -1,0 +1,488 @@
+package network
+
+import (
+	"math/bits"
+
+	"gs1280/internal/sim"
+	"gs1280/internal/topology"
+)
+
+// Reliable links under transient faults. The 21364 delivers packets over
+// physically noisy cables: every hop is CRC-checked and a corrupted or
+// lost transfer is replayed from a per-link retransmit buffer, so bit
+// errors cost latency, not correctness (the regime the GS1280 actually
+// ran in — neither perfect nor amputated). This file is that layer:
+//
+//   - Error model: each link with a nonzero drop/corrupt probability owns
+//     a private xorshift RNG seeded from (Params.LinkErrorSeed, link
+//     identity), drawn once per packet-hop. Links with probability zero
+//     never install the layer at all, so a healthy fabric is bit-identical
+//     to a build without this file (pinned by the flaky-* golden tests).
+//   - Recovery: go-back-N with cumulative acks. The sender keeps a fixed
+//     replay ring of RelWindow unacked packets; the receiver accepts
+//     exactly the next sequence number, acks cumulatively, and nacks on a
+//     gap or corrupt arrival; a cancelable sim.Timer retransmits on
+//     timeout. Acks ride a reliable sideband (modeled as wire-delay
+//     control flits that do not occupy the reverse data wire; their count
+//     is surfaced as AckOverhead).
+//   - Quarantine: each transmission shifts a 64-bit outcome window; when
+//     the error popcount crosses Params.QuarantineThreshold the link is
+//     handed to FailLink (PR 5's masked reroute) — unless that would
+//     partition the machine (topology.ConnectedWithout) — and optionally
+//     returns on probation via RestoreLink after QuarantineProbation.
+//
+// Determinism: per-link RNGs are independent of arrival order, quarantine
+// and probation fire through their own timers (deterministic engine
+// order), and every in-flight xmit/ack record carries the link's epoch —
+// FailLink bumps it, so records launched before a reset are discarded on
+// arrival instead of mutating reborn state. All records are pooled; the
+// transmit/rx/ack cycle allocates nothing in steady state (guarded by
+// TestRelHotPathZeroAlloc).
+
+// DefaultRelWindow is the replay-ring depth used when Params.RelWindow is
+// zero: deep enough to keep a healthy-RTT pipe full at the default RTO.
+const DefaultRelWindow = 8
+
+// relEntry is one slot of the sender-side replay ring: an unacked packet
+// and its transmission history.
+type relEntry struct {
+	seq       uint64
+	p         *Packet // nil once the receiver has accepted the packet
+	size      int     // serialized size, retained after p is released
+	attempts  int
+	firstTxAt sim.Time
+	delivered bool // accepted by the receiver, awaiting cumulative ack
+}
+
+// relState is the reliable-delivery state of one directed link — the
+// sender half lives at l.from, the receiver half at l.edge.To; both ends
+// of the same simulated wire share the struct.
+type relState struct {
+	l *link
+
+	// Error model.
+	rng             *sim.RNG
+	dropP, corruptP float64
+
+	// Sender: replay ring entries[head..head+n) holds seqs
+	// [headSeq, headSeq+n); resend is the offset from head of the next
+	// entry to put on the wire (== n when everything unacked has been
+	// transmitted and the window is just waiting on acks).
+	entries  []relEntry
+	head     int
+	n        int
+	headSeq  uint64
+	sendSeq  uint64
+	resend   int
+	rto      sim.Time
+	retransT sim.Timer // armed exactly while n > 0
+
+	// Receiver: the only sequence number accepted next. Anything lower is
+	// a duplicate (re-acked), anything higher a gap (nacked).
+	expect uint64
+
+	// epoch stamps in-flight xmit/ack records; relReset bumps it so
+	// records launched before a FailLink are discarded on arrival.
+	epoch uint32
+
+	// Quarantine: errWin is the last-64-transmissions outcome bitmask
+	// (1 = dropped or corrupted); quarT defers the FailLink decision out
+	// of the pump, probT schedules the probationary RestoreLink.
+	errWin uint64
+	quarT  sim.Timer
+	probT  sim.Timer
+}
+
+// relXmit is a pooled packet-hop in flight on a lossy wire: what the far
+// router will observe after the wire delay.
+type relXmit struct {
+	l       *link
+	t       sim.Timer
+	p       *Packet
+	seq     uint64
+	epoch   uint32
+	corrupt bool
+}
+
+// relAck is a pooled cumulative ack/nack in flight on the sideband.
+type relAck struct {
+	l     *link
+	t     sim.Timer
+	upto  uint64 // receiver accepts seq >= upto next; everything below is acked
+	epoch uint32
+	nack  bool
+}
+
+// relSeed derives the per-link error-RNG seed: a function of the global
+// seed and the link's identity only, so error schedules are independent
+// of traffic, arrival order, and every other link.
+func relSeed(base uint64, l *link) uint64 {
+	return base*0x9e3779b97f4a7c15 +
+		uint64(l.from)*0x100000001b3 +
+		uint64(l.edge.Dir)*0x1000193 + 1
+}
+
+// installRel attaches (or retunes) the reliable-delivery layer on one
+// directed link. Idempotent on the protocol state: only the error
+// probabilities change on a second call.
+func (n *Network) installRel(l *link, drop, corrupt float64) {
+	if drop < 0 || corrupt < 0 || drop+corrupt >= 1 {
+		panic("network: per-hop error probability must be in [0, 1)")
+	}
+	r := l.rel
+	if r == nil {
+		w := n.params.RelWindow
+		if w == 0 {
+			w = DefaultRelWindow
+		}
+		if w < 1 {
+			panic("network: RelWindow must be positive")
+		}
+		rto := n.params.RelRTO
+		if rto == 0 {
+			// Past the worst-case healthy turnaround: a full window of data
+			// packets serializing ahead plus the wire both ways.
+			rto = 2*l.wire + sim.Time(w+1)*n.serTime(DataPacketSize)
+		}
+		r = &relState{
+			l:       l,
+			rng:     sim.NewRNG(relSeed(n.params.LinkErrorSeed, l)),
+			entries: make([]relEntry, w),
+			rto:     rto,
+		}
+		r.retransT.InitFunc(n.eng, runRelTimeout, r)
+		r.quarT.InitFunc(n.eng, runRelQuarantine, r)
+		r.probT.InitFunc(n.eng, runRelProbation, r)
+		l.rel = r
+	}
+	r.dropP, r.corruptP = drop, corrupt
+}
+
+// SetLinkError sets the per-hop drop/corrupt probability of the physical
+// link named by k — both directions, like FailLink — installing the
+// reliable-delivery protocol on it. The per-link error RNG is seeded from
+// Params.LinkErrorSeed and the link identity at first install and is not
+// re-seeded by later calls, so a chronically bad cable stays the same bad
+// cable across quarantine and probation.
+func (n *Network) SetLinkError(k topology.LinkKey, drop, corrupt float64) {
+	n.installRel(n.linkAt(k), drop, corrupt)
+	n.installRel(n.linkAt(k.Reverse()), drop, corrupt)
+}
+
+// relPending reports whether the link's replay ring has entries awaiting
+// (re)transmission — the rel-mode half of "is there work for the pump".
+func (l *link) relPending() bool {
+	r := l.rel
+	return r != nil && r.resend < r.n
+}
+
+func (r *relState) entryAt(off int) *relEntry {
+	return &r.entries[(r.head+off)%len(r.entries)]
+}
+
+// push appends a packet to the replay ring. The caller checked n < window.
+func (r *relState) push(p *Packet, now sim.Time) *relEntry {
+	e := r.entryAt(r.n)
+	e.seq = r.sendSeq
+	e.p = p
+	e.size = p.Size
+	e.attempts = 0
+	e.firstTxAt = now
+	e.delivered = false
+	r.sendSeq++
+	r.n++
+	return e
+}
+
+// relPump is the rel-mode body of pump: retransmit the oldest pending
+// entry, else admit a new packet if the window is open. The wire is known
+// free (pump checked freeAt).
+//
+//gs:noalloc guard=TestRelHotPathZeroAlloc
+func (l *link) relPump(now sim.Time) {
+	r := l.rel
+	// Entries already accepted by the receiver need no replay; go-back-N
+	// would resend them, but the receiver would only re-ack the duplicate.
+	for r.resend < r.n && r.entryAt(r.resend).delivered {
+		r.resend++
+	}
+	var e *relEntry
+	if r.resend < r.n {
+		e = r.entryAt(r.resend)
+	} else if r.n < len(r.entries) {
+		p := l.pop()
+		if p == nil {
+			return
+		}
+		l.net.resHist.Record(int64(now - p.enqueuedAt))
+		e = r.push(p, now)
+	} else {
+		// Window closed: the ack that reopens it re-wakes the pump, and the
+		// retransmit timer backstops a lost window.
+		return
+	}
+	r.resend++
+	l.relTransmit(now, e)
+}
+
+// relTransmit puts one replay-ring entry on the wire: full link
+// accounting (retransmissions occupy real bandwidth), one RNG draw for
+// the hop outcome, the pooled rx record, and the quarantine window shift.
+//
+//gs:noalloc guard=TestRelHotPathZeroAlloc
+func (l *link) relTransmit(now sim.Time, e *relEntry) {
+	n := l.net
+	r := l.rel
+	ser := n.serTime(e.size)
+	l.freeAt = now + ser
+	l.busy += ser
+	l.packets++
+	l.bytes += uint64(e.size)
+	e.attempts++
+	if e.attempts > 1 {
+		n.retransmits++
+	}
+	// One draw decides the hop: [0, dropP) lost, [dropP, dropP+corruptP)
+	// arrives corrupted, the rest arrives clean.
+	u := r.rng.Float64()
+	bad := u < r.dropP+r.corruptP
+	if bad {
+		n.droppedHops++
+	}
+	if u >= r.dropP {
+		x := n.getRelXmit()
+		x.l, x.p, x.seq, x.epoch, x.corrupt = l, e.p, e.seq, r.epoch, bad
+		x.t.Schedule(l.wire)
+	}
+	r.errWin <<= 1
+	if bad {
+		r.errWin |= 1
+	}
+	if q := n.params.QuarantineThreshold; q > 0 && bits.OnesCount64(r.errWin) >= q && !r.quarT.Armed() {
+		// Decide outside the pump: FailLink rebuilds routing tables and
+		// requeues this very link, which must not happen mid-transmit.
+		r.quarT.Schedule(0)
+	}
+	if !r.retransT.Armed() {
+		r.retransT.Schedule(r.rto)
+	}
+	if r.resend < r.n || (r.n < len(r.entries) && l.queued > 0) {
+		l.schedulePump(l.freeAt)
+	}
+}
+
+// relXmit pool.
+//
+//gs:noalloc guard=TestRelHotPathZeroAlloc
+func (n *Network) getRelXmit() *relXmit {
+	if k := len(n.relXmitFree); k > 0 {
+		x := n.relXmitFree[k-1]
+		n.relXmitFree = n.relXmitFree[:k-1]
+		return x
+	}
+	x := &relXmit{} //lint:alloc-ok pool growth to steady-state in-flight depth
+	x.t.InitFunc(n.eng, runRelXmit, x)
+	return x
+}
+
+// relAck pool.
+//
+//gs:noalloc guard=TestRelHotPathZeroAlloc
+func (n *Network) getRelAck() *relAck {
+	if k := len(n.relAckFree); k > 0 {
+		a := n.relAckFree[k-1]
+		n.relAckFree = n.relAckFree[:k-1]
+		return a
+	}
+	a := &relAck{} //lint:alloc-ok pool growth to steady-state in-flight depth
+	a.t.InitFunc(n.eng, runRelAck, a)
+	return a
+}
+
+// sendRelAck launches a cumulative ack (or nack) back to l's sender on
+// the reliable sideband.
+//
+//gs:noalloc guard=TestRelHotPathZeroAlloc
+func (n *Network) sendRelAck(l *link, upto uint64, nack bool) {
+	n.ackMsgs++
+	a := n.getRelAck()
+	a.l, a.upto, a.epoch, a.nack = l, upto, l.rel.epoch, nack
+	a.t.Schedule(l.wire)
+}
+
+// runRelXmit is the receiver: the packet-hop reaches the far router.
+//
+//gs:noalloc guard=TestRelHotPathZeroAlloc
+func runRelXmit(arg any) {
+	x := arg.(*relXmit)
+	l, p, seq, epoch, corrupt := x.l, x.p, x.seq, x.epoch, x.corrupt
+	n := l.net
+	x.p = nil
+	n.relXmitFree = append(n.relXmitFree, x)
+	r := l.rel
+	if l.failed || epoch != r.epoch {
+		// Launched before a FailLink reset: the sender already requeued the
+		// packet through the degraded tables.
+		return
+	}
+	if corrupt {
+		// CRC failure: the header is untrusted, so nack the expected seq.
+		n.sendRelAck(l, r.expect, true)
+		return
+	}
+	switch {
+	case seq > r.expect:
+		// Gap — an earlier hop was lost on the wire.
+		n.sendRelAck(l, r.expect, true)
+	case seq < r.expect:
+		// Duplicate of an accepted packet (replay overshoot or a stale
+		// retransmit racing its ack): suppress, re-ack the frontier.
+		n.sendRelAck(l, r.expect, false)
+	default:
+		r.expect++
+		e := r.entryAt(int(seq - r.headSeq))
+		if e.seq != seq {
+			panic("network: rel accept outside the replay window")
+		}
+		if e.attempts > 1 {
+			n.retryHist[p.Crit].Record(int64(n.eng.Now() - e.firstTxAt))
+		}
+		e.delivered = true
+		e.p = nil
+		n.sendRelAck(l, r.expect, false)
+		n.arrive(p, l)
+	}
+}
+
+// runRelAck is the sender reacting to a cumulative ack/nack: pop
+// everything below upto off the replay ring, rewind the resend cursor on
+// a nack, and wake the pump if the window reopened.
+//
+//gs:noalloc guard=TestRelHotPathZeroAlloc
+func runRelAck(arg any) {
+	a := arg.(*relAck)
+	l, upto, epoch, nack := a.l, a.upto, a.epoch, a.nack
+	n := l.net
+	n.relAckFree = append(n.relAckFree, a)
+	r := l.rel
+	if l.failed || epoch != r.epoch {
+		return
+	}
+	for r.n > 0 && r.headSeq < upto {
+		e := &r.entries[r.head]
+		e.p = nil
+		e.delivered = false
+		r.head = (r.head + 1) % len(r.entries)
+		r.n--
+		r.headSeq++
+		if r.resend > 0 {
+			r.resend--
+		}
+	}
+	if nack {
+		r.resend = 0
+	}
+	if r.n == 0 {
+		r.retransT.Cancel()
+	} else if nack {
+		r.retransT.Reschedule(r.rto)
+	}
+	if r.resend < r.n || (r.n < len(r.entries) && l.queued > 0) {
+		l.schedulePump(l.freeAt)
+	}
+}
+
+// runRelTimeout fires when a window of transmissions has gone rto without
+// a cumulative ack covering it: rewind and replay from the ring head.
+//
+//gs:noalloc guard=TestRelHotPathZeroAlloc
+func runRelTimeout(arg any) {
+	r := arg.(*relState)
+	if r.n == 0 || r.l.failed {
+		return
+	}
+	r.resend = 0
+	r.retransT.Schedule(r.rto)
+	r.l.schedulePump(r.l.freeAt)
+}
+
+// runRelQuarantine is the deferred quarantine decision: re-validate the
+// trip (the window may have been reset since), refuse to partition the
+// machine, then hand the link to the degraded-routing machinery.
+func runRelQuarantine(arg any) {
+	r := arg.(*relState)
+	l := r.l
+	n := l.net
+	if l.failed {
+		return
+	}
+	if q := n.params.QuarantineThreshold; q == 0 || bits.OnesCount64(r.errWin) < q {
+		return
+	}
+	k := topology.LinkKey{From: l.from, To: l.edge.To, Dir: l.edge.Dir}
+	probe := append(append([]topology.LinkKey(nil), n.failedKeys...), k, k.Reverse())
+	if !n.topo.ConnectedWithout(probe) {
+		// Quarantining would partition the machine: a lossy retransmitting
+		// link still delivers, an amputated cut set does not. Clear the
+		// window so the check re-arms only after 64 fresh transmissions.
+		r.errWin = 0
+		return
+	}
+	n.quarantines++
+	n.FailLink(k)
+	if d := n.params.QuarantineProbation; d > 0 {
+		r.probT.Schedule(d)
+	}
+}
+
+// runRelProbation returns a quarantined link to service. Restore
+// idempotence (pinned by TestFailRestoreIdempotentProperty) guarantees
+// the fabric behaves as if never failed; the error window restarts empty,
+// so a still-bad cable re-trips after at most QuarantineThreshold fresh
+// errors and flaps back out.
+func runRelProbation(arg any) {
+	r := arg.(*relState)
+	l := r.l
+	n := l.net
+	k := topology.LinkKey{From: l.from, To: l.edge.To, Dir: l.edge.Dir}
+	if !n.isFailed(k) {
+		return // already restored by the driver
+	}
+	n.RestoreLink(k)
+}
+
+// relReset clears one direction's protocol state at FailLink time, after
+// the pump stopped and before the queues are requeued. Undelivered
+// replay-ring packets re-enter routing at the sender router exactly like
+// the queued packets FailLink requeues; packets the receiver already
+// accepted continue on unharmed. The epoch bump strands every in-flight
+// xmit/ack record, and the error RNG is deliberately NOT re-seeded.
+func (n *Network) relReset(l *link) {
+	r := l.rel
+	if r == nil {
+		return
+	}
+	r.epoch++
+	r.retransT.Cancel()
+	r.quarT.Cancel()
+	r.probT.Cancel()
+	for r.n > 0 {
+		e := &r.entries[r.head]
+		r.head = (r.head + 1) % len(r.entries)
+		r.n--
+		if !e.delivered && e.p != nil {
+			p := e.p
+			if p.adaptiveOn == l {
+				l.adaptiveOcc[p.Class]--
+				p.adaptiveOn = nil
+			}
+			n.reroutes++
+			p.cur = l.from
+			p.routeT.Schedule(n.params.RouterLatency)
+		}
+		e.p = nil
+		e.delivered = false
+	}
+	r.head, r.headSeq, r.sendSeq, r.expect, r.resend = 0, 0, 0, 0, 0
+	r.errWin = 0
+}

@@ -1,0 +1,284 @@
+package network
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"gs1280/internal/sim"
+	"gs1280/internal/topology"
+)
+
+// relTestNet builds a w x h torus with the reliable layer configured by
+// mod (applied to DefaultParams before construction).
+func relTestNet(w, h int, mod func(*Params)) (*sim.Engine, *Network) {
+	eng := sim.NewEngine()
+	topo := topology.NewTorus(w, h)
+	params := DefaultParams()
+	if mod != nil {
+		mod(&params)
+	}
+	return eng, New(eng, topo, params)
+}
+
+// TestRelDeliveryExactlyOnceUnderRandomErrors is the core reliability
+// property: under seeded per-hop drop AND corrupt schedules, every packet
+// is delivered exactly once — no loss, no duplicates — every adaptive
+// credit comes home, and the audit counters show the recovery actually
+// exercised retransmission.
+func TestRelDeliveryExactlyOnceUnderRandomErrors(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		const count = 600
+		eng, n := relTestNet(4, 4, func(p *Params) {
+			p.LinkDropRate = 0.05
+			p.LinkCorruptRate = 0.05
+			p.LinkErrorSeed = seed
+		})
+		delivered := make([]int, count)
+		rng := sim.NewRNG(seed * 7919)
+		for i := 0; i < count; i++ {
+			i := i
+			n.Send(&Packet{
+				Src: topology.NodeID(rng.Intn(16)), Dst: topology.NodeID(rng.Intn(16)),
+				Class: Class(rng.Intn(3)), Size: DataPacketSize,
+				OnDeliver: func() { delivered[i]++ }})
+		}
+		eng.Run()
+		for i, d := range delivered {
+			if d != 1 {
+				t.Fatalf("seed %d: packet %d delivered %d times, want exactly once", seed, i, d)
+			}
+		}
+		if n.InFlight() != 0 {
+			t.Fatalf("seed %d: in flight after drain: %d", seed, n.InFlight())
+		}
+		if occ := n.AdaptiveOccupancy(); occ != 0 {
+			t.Fatalf("seed %d: adaptive occupancy after drain = %d, want 0", seed, occ)
+		}
+		if n.DroppedHops() == 0 || n.Retransmits() == 0 || n.AckOverhead() == 0 {
+			t.Fatalf("seed %d: error model idle (dropped=%d retransmits=%d acks=%d); the property was not exercised",
+				seed, n.DroppedHops(), n.Retransmits(), n.AckOverhead())
+		}
+	}
+}
+
+// TestRelInOrderWithinFlow pins no-reorder within a virtual channel: with
+// adaptive routing disabled the path is fixed, router queues are FIFO per
+// class, and go-back-N accepts strictly in sequence — so a single-class
+// stream between one src/dst pair must arrive in injection order no
+// matter what the error schedule does to individual hops.
+func TestRelInOrderWithinFlow(t *testing.T) {
+	eng, n := relTestNet(4, 4, func(p *Params) {
+		p.LinkDropRate = 0.15
+		p.LinkCorruptRate = 0.15
+		p.LinkErrorSeed = 99
+		p.DisableAdaptive = true
+	})
+	const count = 300
+	var order []int
+	src := topology.NodeID(0)
+	dst := n.Topology().Node(topology.Coord{X: 2, Y: 2})
+	for i := 0; i < count; i++ {
+		i := i
+		n.Send(&Packet{Src: src, Dst: dst, Class: Request, Size: DataPacketSize,
+			OnDeliver: func() { order = append(order, i) }})
+	}
+	eng.Run()
+	if len(order) != count {
+		t.Fatalf("delivered %d of %d", len(order), count)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("delivery %d carried packet %d: reordered within a flow", i, got)
+		}
+	}
+	if n.Retransmits() == 0 {
+		t.Fatal("no retransmissions; the error schedule did not bite")
+	}
+}
+
+// TestRelZeroErrorRateBitIdentical is the healthy-path differential: a
+// network with every reliable-layer knob set but error probability zero
+// must not even install the layer, and must produce delivery times
+// bit-identical to a default network under identical traffic.
+func TestRelZeroErrorRateBitIdentical(t *testing.T) {
+	trace := func(mod func(*Params)) []sim.Time {
+		eng, n := relTestNet(4, 4, mod)
+		const count = 400
+		times := make([]sim.Time, count)
+		rng := sim.NewRNG(11)
+		for i := 0; i < count; i++ {
+			i := i
+			n.Send(&Packet{
+				Src: topology.NodeID(rng.Intn(16)), Dst: topology.NodeID(rng.Intn(16)),
+				Class: Class(rng.Intn(3)), Size: DataPacketSize,
+				OnDeliver: func() { times[i] = eng.Now() }})
+		}
+		eng.Run()
+		return times
+	}
+	base := trace(nil)
+	got := trace(func(p *Params) {
+		// Everything armed except the probabilities themselves.
+		p.LinkErrorSeed = 42
+		p.RelWindow = 4
+		p.RelRTO = sim.Microsecond
+		p.QuarantineThreshold = 8
+		p.QuarantineProbation = 5 * sim.Microsecond
+	})
+	for i := range base {
+		if base[i] != got[i] {
+			t.Fatalf("packet %d delivered at %v with zero-rate reliable config, %v without", i, got[i], base[i])
+		}
+	}
+	// And the layer really is absent, not merely quiet.
+	_, n := relTestNet(4, 4, func(p *Params) { p.LinkErrorSeed = 42; p.RelWindow = 4 })
+	if n.links[0][0].rel != nil {
+		t.Fatal("reliable layer installed at zero error rate")
+	}
+}
+
+// TestRelQuarantineTripsAndReroutes: a chronically bad cable crosses the
+// error-rate threshold, is auto-FailLinked into the degraded-routing
+// machinery, and the stream completes over the surviving fabric.
+func TestRelQuarantineTripsAndReroutes(t *testing.T) {
+	eng, n := relTestNet(4, 4, func(p *Params) {
+		p.QuarantineThreshold = 8
+	})
+	bad := eastKey(n.Topology(), 0, 0)
+	n.SetLinkError(bad, 0.2, 0.2)
+	const count = 400
+	delivered := 0
+	for i := 0; i < count; i++ {
+		n.Send(&Packet{Src: 0, Dst: 1, Class: Request, Size: DataPacketSize,
+			OnDeliver: func() { delivered++ }})
+	}
+	eng.Run()
+	if delivered != count {
+		t.Fatalf("delivered %d of %d across the quarantine", delivered, count)
+	}
+	if n.Quarantines() != 1 {
+		t.Fatalf("quarantines = %d, want 1", n.Quarantines())
+	}
+	if !n.Degraded() || !n.isFailed(bad) {
+		t.Fatal("bad link not in the degraded failure set after quarantine")
+	}
+	if n.Reroutes() == 0 {
+		t.Fatal("no reroutes: quarantine did not hand its backlog to degraded routing")
+	}
+	if occ := n.AdaptiveOccupancy(); occ != 0 {
+		t.Fatalf("adaptive occupancy after drain = %d, want 0", occ)
+	}
+}
+
+// TestRelQuarantineProbationRestores: with a probation interval the
+// quarantined link returns to service once traffic has drained, leaving
+// the fabric healthy — the restore-idempotence property quarantine
+// depends on.
+func TestRelQuarantineProbationRestores(t *testing.T) {
+	eng, n := relTestNet(4, 4, func(p *Params) {
+		p.QuarantineThreshold = 8
+		p.QuarantineProbation = 2 * sim.Microsecond
+	})
+	bad := eastKey(n.Topology(), 0, 0)
+	n.SetLinkError(bad, 0.2, 0.2)
+	const count = 300
+	delivered := 0
+	for i := 0; i < count; i++ {
+		n.Send(&Packet{Src: 0, Dst: 1, Class: Request, Size: DataPacketSize,
+			OnDeliver: func() { delivered++ }})
+	}
+	eng.Run()
+	if delivered != count {
+		t.Fatalf("delivered %d of %d", delivered, count)
+	}
+	if n.Quarantines() == 0 {
+		t.Fatal("bad link never quarantined")
+	}
+	if n.Degraded() || len(n.FailedLinks()) != 0 {
+		t.Fatalf("fabric still degraded after probation: %v", n.FailedLinks())
+	}
+}
+
+// TestRelQuarantineDeclinesPartition: a bad link whose removal would
+// partition the machine is kept in lossy service — quarantine must probe
+// connectivity with ConnectedWithout instead of tripping NewMask's
+// partition panic mid-simulation.
+func TestRelQuarantineDeclinesPartition(t *testing.T) {
+	eng, n := relTestNet(4, 4, func(p *Params) {
+		p.QuarantineThreshold = 8
+	})
+	topo := n.Topology()
+	// Amputate three of node 0's four ports; the East link becomes node
+	// 0's only connection, so quarantining it would isolate the node.
+	for _, d := range []topology.Dir{topology.North, topology.South, topology.West} {
+		for _, e := range topo.Neighbors(0) {
+			if e.Dir == d {
+				n.FailLink(topology.LinkKey{From: 0, To: e.To, Dir: d})
+			}
+		}
+	}
+	bad := eastKey(topo, 0, 0)
+	n.SetLinkError(bad, 0.2, 0.2)
+	const count = 300
+	delivered := 0
+	for i := 0; i < count; i++ {
+		n.Send(&Packet{Src: 0, Dst: 1, Class: Request, Size: DataPacketSize,
+			OnDeliver: func() { delivered++ }})
+	}
+	eng.Run()
+	if delivered != count {
+		t.Fatalf("delivered %d of %d over the lossy last link", delivered, count)
+	}
+	if n.Quarantines() != 0 {
+		t.Fatalf("quarantined a cut link %d times; the machine is partitioned", n.Quarantines())
+	}
+	if n.isFailed(bad) {
+		t.Fatal("the last link out of node 0 was failed")
+	}
+	if n.Retransmits() == 0 {
+		t.Fatal("no retransmissions on the lossy link")
+	}
+}
+
+// TestRelHotPathZeroAlloc is the CI guard for the retransmit hot path:
+// after the pools and replay rings warm, the transmit → rx → ack → pop
+// cycle (including drops, corruptions and replays) allocates nothing.
+// Thresholds mirror TestLinkPumpHotPathZeroAlloc.
+func TestRelHotPathZeroAlloc(t *testing.T) {
+	eng, n := relTestNet(4, 4, func(p *Params) {
+		p.LinkDropRate = 0.05
+		p.LinkCorruptRate = 0.05
+		p.LinkErrorSeed = 7
+	})
+	const count = 3000
+	inject := func() {
+		rng := sim.NewRNG(3)
+		for i := 0; i < count; i++ {
+			n.Send(&Packet{
+				Src: topology.NodeID(rng.Intn(16)), Dst: topology.NodeID(rng.Intn(16)),
+				Class: Class(rng.Intn(3)), Size: DataPacketSize, OnDeliver: func() {}})
+		}
+	}
+	inject()
+	eng.Run()
+	inject()
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	var m0, m1 runtime.MemStats
+	before := eng.Executed()
+	runtime.ReadMemStats(&m0)
+	eng.Run()
+	runtime.ReadMemStats(&m1)
+	events := eng.Executed() - before
+	if events == 0 {
+		t.Fatal("no events executed in the measured phase")
+	}
+	allocs := float64(m1.Mallocs-m0.Mallocs) / float64(events)
+	bytes := float64(m1.TotalAlloc-m0.TotalAlloc) / float64(events)
+	if allocs > 0.01 {
+		t.Errorf("retransmit hot path allocates %.4f allocs/event, want 0", allocs)
+	}
+	if bytes > 1 {
+		t.Errorf("retransmit hot path allocates %.2f bytes/event, want 0", bytes)
+	}
+}

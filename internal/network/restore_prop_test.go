@@ -1,0 +1,120 @@
+package network
+
+import (
+	"reflect"
+	"testing"
+
+	"gs1280/internal/sim"
+	"gs1280/internal/topology"
+)
+
+// relTrace is everything a fail/restore history is allowed to leave no
+// mark on: per-packet delivery times plus the full per-link statistics.
+type relTrace struct {
+	times []sim.Time
+	links []LinkStat
+}
+
+// runRestoreTrace builds a 4x4 torus, lets churn mutate the (still idle)
+// fabric, then drives a seeded random stream and records the trace.
+func runRestoreTrace(seed uint64, churn func(n *Network, rng *sim.RNG)) relTrace {
+	eng := sim.NewEngine()
+	topo := topology.NewTorus(4, 4)
+	n := New(eng, topo, DefaultParams())
+	if churn != nil {
+		churn(n, sim.NewRNG(seed*104729))
+	}
+	const count = 400
+	tr := relTrace{times: make([]sim.Time, count)}
+	rng := sim.NewRNG(seed)
+	for i := 0; i < count; i++ {
+		i := i
+		n.Send(&Packet{
+			Src: topology.NodeID(rng.Intn(16)), Dst: topology.NodeID(rng.Intn(16)),
+			Class: Class(rng.Intn(3)), Size: DataPacketSize,
+			OnDeliver: func() { tr.times[i] = eng.Now() }})
+	}
+	eng.Run()
+	tr.links = n.LinkStats()
+	return tr
+}
+
+// TestFailRestoreIdempotentProperty is the restore-idempotence property
+// quarantine probation depends on: any sequence of FailLink/RestoreLink
+// events that ends with every link restored leaves route tables and all
+// subsequent simulation output byte-identical to a fabric that never saw
+// a fault. Eight seeded random fail/restore histories (up to the
+// connectivity limit, including nested and interleaved faults) each
+// replay an identical seeded traffic trace.
+func TestFailRestoreIdempotentProperty(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		base := runRestoreTrace(seed, nil)
+		got := runRestoreTrace(seed, func(n *Network, rng *sim.RNG) {
+			links := n.Topology().Links()
+			var failed []topology.LinkKey
+			for op := 0; op < 16; op++ {
+				if len(failed) > 0 && rng.Intn(2) == 0 {
+					j := rng.Intn(len(failed))
+					n.RestoreLink(failed[j])
+					failed = append(failed[:j], failed[j+1:]...)
+					continue
+				}
+				k := links[rng.Intn(len(links))]
+				if n.isFailed(k) || n.isFailed(k.Reverse()) {
+					continue
+				}
+				probe := append(n.FailedLinks(), k, k.Reverse())
+				if !n.Topology().ConnectedWithout(probe) {
+					continue
+				}
+				n.FailLink(k)
+				failed = append(failed, k)
+			}
+			for _, k := range failed {
+				n.RestoreLink(k)
+			}
+			if n.Degraded() {
+				t.Fatalf("seed %d: fabric still degraded after restoring everything", seed)
+			}
+		})
+		if !reflect.DeepEqual(base.times, got.times) {
+			for i := range base.times {
+				if base.times[i] != got.times[i] {
+					t.Fatalf("seed %d: packet %d delivered at %v after fail/restore churn, %v on a never-failed fabric",
+						seed, i, got.times[i], base.times[i])
+				}
+			}
+		}
+		if !reflect.DeepEqual(base.links, got.links) {
+			t.Fatalf("seed %d: per-link statistics diverge after fail/restore churn", seed)
+		}
+	}
+}
+
+// TestFailRestoreRouteTablesIdentical pins the routing-table half of the
+// property directly: after a fail/restore round trip the masked next-hop
+// enumeration for every (cur, dst) pair equals the healthy policy tables
+// (the mask must drop to nil, not linger as an equivalent rebuild).
+func TestFailRestoreRouteTablesIdentical(t *testing.T) {
+	eng := sim.NewEngine()
+	topo := topology.NewTorus(4, 4)
+	n := New(eng, topo, DefaultParams())
+	k := eastKey(topo, 1, 2)
+	n.FailLink(k)
+	n.RestoreLink(k)
+	if n.Degraded() {
+		t.Fatal("mask lingers after the failure set emptied")
+	}
+	for cur := 0; cur < topo.N(); cur++ {
+		for dst := 0; dst < topo.N(); dst++ {
+			if cur == dst {
+				continue
+			}
+			want := topo.NextHops(topology.NodeID(cur), topology.NodeID(dst))
+			got := topo.NextHopsMasked(topology.NodeID(cur), topology.NodeID(dst), nil)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("next hops %d->%d diverge after restore: %v vs %v", cur, dst, got, want)
+			}
+		}
+	}
+}

@@ -36,6 +36,18 @@ type Snapshot struct {
 	// zero on a healthy fabric; a burst of reroutes marks the sample in
 	// which a cable died, a steady non-minimal rate the detour tax after.
 	Reroutes, NonMinimalHops uint64
+	// Retransmits, DroppedHops, AckOverhead and Quarantines count the
+	// reliable-link layer's activity inside this interval: replay
+	// transmissions, packet-hops destroyed on the wire, sideband ack/nack
+	// messages, and links auto-failed by the error-rate monitor. All zero
+	// on a fabric without injected errors; a quarantine in one interval
+	// shows up as a reroute burst in the same sample.
+	Retransmits, DroppedHops, AckOverhead, Quarantines uint64
+	// RetryLat is the interval's per-hop retry-latency summary
+	// (picoseconds from a hop's first transmission to its acceptance,
+	// recorded only for hops that needed retransmission) — the recovery
+	// tax the flaky-* experiments track against criticality.
+	RetryLat stats.Quantiles
 	// PacketLat, MissLat and QueueRes are the interval's tail summaries
 	// (picoseconds): end-to-end packet latency across all criticalities,
 	// L2-miss load-to-use latency, and router output-port queue
@@ -105,8 +117,10 @@ type Sampler struct {
 	// lastReroutes/lastNonMinimal hold the network's cumulative fault
 	// counters at the previous boundary; the network does not reset them
 	// with the rest of the stats (they are an audit trail), so the sampler
-	// takes its own deltas.
-	lastReroutes, lastNonMinimal uint64
+	// takes its own deltas. The reliable-link counters follow the same
+	// cumulative-audit pattern.
+	lastReroutes, lastNonMinimal                           uint64
+	lastRetransmits, lastDropped, lastAcks, lastQuarantine uint64
 }
 
 // NewSampler builds a sampler; call Schedule to arm it.
@@ -126,6 +140,10 @@ func (s *Sampler) Schedule(n int) {
 	s.m.Net.ResetStats()
 	s.lastReroutes = s.m.Net.Reroutes()
 	s.lastNonMinimal = s.m.Net.NonMinimalHops()
+	s.lastRetransmits = s.m.Net.Retransmits()
+	s.lastDropped = s.m.Net.DroppedHops()
+	s.lastAcks = s.m.Net.AckOverhead()
+	s.lastQuarantine = s.m.Net.Quarantines()
 	for i := 1; i <= n; i++ {
 		eng.After(sim.Time(i)*s.interval, s.capture)
 	}
@@ -133,16 +151,26 @@ func (s *Sampler) Schedule(n int) {
 
 func (s *Sampler) capture() {
 	packetLat := s.m.Net.PacketLatency()
+	retryLat := s.m.Net.RetryLatency()
 	snap := Snapshot{
 		At:             s.m.Engine().Now(),
 		Reroutes:       s.m.Net.Reroutes() - s.lastReroutes,
 		NonMinimalHops: s.m.Net.NonMinimalHops() - s.lastNonMinimal,
+		Retransmits:    s.m.Net.Retransmits() - s.lastRetransmits,
+		DroppedHops:    s.m.Net.DroppedHops() - s.lastDropped,
+		AckOverhead:    s.m.Net.AckOverhead() - s.lastAcks,
+		Quarantines:    s.m.Net.Quarantines() - s.lastQuarantine,
+		RetryLat:       retryLat.Quantiles(),
 		PacketLat:      packetLat.Quantiles(),
 		MissLat:        s.m.Coh.MissLatencyHist().Quantiles(),
 		QueueRes:       s.m.Net.ResidencyHist().Quantiles(),
 	}
 	s.lastReroutes += snap.Reroutes
 	s.lastNonMinimal += snap.NonMinimalHops
+	s.lastRetransmits += snap.Retransmits
+	s.lastDropped += snap.DroppedHops
+	s.lastAcks += snap.AckOverhead
+	s.lastQuarantine += snap.Quarantines
 	for i := 0; i < s.m.N(); i++ {
 		id := topology.NodeID(i)
 		avg, ns, ew := s.m.Net.NodeLinkUtilization(id)
@@ -188,6 +216,15 @@ func Render(topo *topology.Topology, snap Snapshot) string {
 	if snap.Reroutes > 0 || snap.NonMinimalHops > 0 {
 		fmt.Fprintf(&b, "degraded fabric: %d reroutes, %d non-minimal hops this interval\n",
 			snap.Reroutes, snap.NonMinimalHops)
+	}
+	if snap.Retransmits > 0 || snap.DroppedHops > 0 || snap.Quarantines > 0 {
+		fmt.Fprintf(&b, "flaky fabric: %d dropped hops, %d retransmits, %d acks, %d quarantines this interval\n",
+			snap.DroppedHops, snap.Retransmits, snap.AckOverhead, snap.Quarantines)
+	}
+	if snap.RetryLat.Count > 0 {
+		fmt.Fprintf(&b, "retry lat ns:  p50 %.0f  p95 %.0f  p99 %.0f  p99.9 %.0f\n",
+			float64(snap.RetryLat.P50)/1000, float64(snap.RetryLat.P95)/1000,
+			float64(snap.RetryLat.P99)/1000, float64(snap.RetryLat.P999)/1000)
 	}
 	return b.String()
 }

@@ -206,3 +206,43 @@ func TestNewSamplerValidation(t *testing.T) {
 	}()
 	NewSampler(machine.NewGS1280(machine.GS1280Config{W: 2, H: 2}), 0)
 }
+
+// TestSamplerCountsReliableLinkActivity mirrors the fault-recovery test
+// for the reliable-link counters: intervals before a link turns lossy
+// read zero, the interval after shows dropped hops, retransmits and ack
+// overhead as deltas, and Render gains the flaky-fabric line.
+func TestSamplerCountsReliableLinkActivity(t *testing.T) {
+	m := machine.NewGS1280(machine.GS1280Config{W: 4, H: 2})
+	s := NewSampler(m, 10*sim.Microsecond)
+	for i := 1; i < m.N(); i++ {
+		m.CPU(i).Run(workload.NewHotSpot(m.RegionBase(0), m.RegionBytes(), 1_000_000, uint64(i)), nil)
+	}
+	k := topology.LinkKey{
+		From: m.Topo.Node(topology.Coord{X: 1, Y: 0}),
+		To:   m.Topo.Node(topology.Coord{X: 0, Y: 0}),
+		Dir:  topology.West,
+	}
+	m.Engine().At(15*sim.Microsecond, func() { m.Net.SetLinkError(k, 0.1, 0.1) })
+	s.Schedule(3)
+	m.Engine().RunUntil(35 * sim.Microsecond)
+	if len(s.Snapshots) != 3 {
+		t.Fatalf("snapshots = %d, want 3", len(s.Snapshots))
+	}
+	before, after := s.Snapshots[0], s.Snapshots[1]
+	if before.Retransmits != 0 || before.DroppedHops != 0 || before.AckOverhead != 0 || before.Quarantines != 0 {
+		t.Fatalf("clean interval shows reliable-link activity: %+v", before)
+	}
+	if after.DroppedHops == 0 || after.Retransmits == 0 || after.AckOverhead == 0 {
+		t.Fatalf("lossy interval shows no recovery activity: dropped=%d retransmits=%d acks=%d",
+			after.DroppedHops, after.Retransmits, after.AckOverhead)
+	}
+	if after.RetryLat.Count == 0 {
+		t.Fatal("lossy interval has an empty retry-latency summary")
+	}
+	if strings.Contains(Render(m.Topo, before), "flaky fabric") {
+		t.Error("clean snapshot renders a flaky-fabric line")
+	}
+	if !strings.Contains(Render(m.Topo, after), "flaky fabric") {
+		t.Error("lossy snapshot missing the flaky-fabric line")
+	}
+}

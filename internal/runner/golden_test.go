@@ -26,7 +26,7 @@ import (
 // (and likewise for the other ids), then explain the change in the PR.
 func TestGoldenOutputsAcrossWorkerCounts(t *testing.T) {
 	ids := []string{"fig12", "fig15", "satur-uniform", "degraded-satur",
-		"tail-satur", "tail-degraded", "tail-miss"}
+		"tail-satur", "tail-degraded", "tail-miss", "flaky-satur", "flaky-quarantine"}
 	for _, workers := range []int{1, 8} {
 		replayGoldens(t, ids, workers, "")
 	}
@@ -37,12 +37,13 @@ func TestGoldenOutputsAcrossWorkerCounts(t *testing.T) {
 // every packet flattened into a single class (demand or background), the
 // crit+age arbiter degenerates to FIFO and the memory controllers' yield
 // path to the plain one — so the pre-criticality goldens, including the
-// fault-injecting degraded-satur, must replay byte-identically at every
-// worker count. The tail-* fixtures are excluded: their crit rows measure
+// fault-injecting degraded-satur and the error-injecting flaky-satur
+// (whose single-class retransmission traffic cannot tell the arbiters
+// apart), must replay byte-identically at every worker count. The tail-* fixtures are excluded: their crit rows measure
 // a genuinely mixed population, which is exactly what the differential
 // mode flattens away.
 func TestGoldenOutputsUnderCritDifferential(t *testing.T) {
-	ids := []string{"fig12", "fig15", "satur-uniform", "degraded-satur"}
+	ids := []string{"fig12", "fig15", "satur-uniform", "degraded-satur", "flaky-satur"}
 	for _, forced := range []network.Criticality{network.CritDemand, network.CritBackground} {
 		restore := experiments.CritDifferential(forced)
 		for _, workers := range []int{1, 8} {

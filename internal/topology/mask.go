@@ -191,6 +191,45 @@ func (t *Topology) NextHopsMasked(cur, dst NodeID, m *Mask) []Edge {
 	return t.AppendNextHopsMasked(nil, cur, dst, m)
 }
 
+// ConnectedWithout reports whether the topology stays connected after
+// removing the given directed edges — the non-panicking counterpart of
+// NewMask's partition check. Auto-quarantine (network) probes with the
+// candidate failure set before committing: a link whose removal would
+// partition the machine is kept in lossy service instead of quarantined,
+// because a retransmitting link still delivers and an amputated cut set
+// does not. Callers pass symmetric sets (both directions of each physical
+// link, as FailLink builds them), for which a single BFS from node 0 is
+// exact.
+func (t *Topology) ConnectedWithout(failed []LinkKey) bool {
+	n := t.N()
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	queue := make([]NodeID, 0, n)
+	seen[0] = true
+	queue = append(queue, 0)
+	reached := 1
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+	edges:
+		for _, e := range t.adj[cur] {
+			for _, k := range failed {
+				if k.From == cur && k.To == e.To && k.Dir == e.Dir {
+					continue edges
+				}
+			}
+			if !seen[e.To] {
+				seen[e.To] = true
+				reached++
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return reached == n
+}
+
 // Links enumerates every directed edge of the topology in deterministic
 // (node, adjacency) order — the iteration space for exhaustive
 // failure-injection tests and for fault-sweep experiment planning.

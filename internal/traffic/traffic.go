@@ -195,14 +195,22 @@ type Result struct {
 	// counters at the end of the run — zero on a healthy fabric (see
 	// network.Network.Reroutes).
 	Reroutes, NonMinimalHops uint64
+	// Retransmits/DroppedHops/AckMsgs/Quarantines are the reliable-link
+	// layer's cumulative counters at the end of the run — all zero on a
+	// fabric without injected errors (see network.Network.Retransmits).
+	Retransmits, DroppedHops, AckMsgs, Quarantines uint64
 	// Lat is the tail summary of every packet delivered inside the
 	// measured window (the network's histogram, so it also counts
 	// warmup-injected packets that complete in-window); DemandLat and
 	// BgLat split it by criticality — the pair the tail-* experiments
 	// compare across prioritization settings. QueueRes summarizes router
-	// output-port queue residency over the same window.
+	// output-port queue residency over the same window. RetryLat
+	// summarizes, for hops that needed retransmission inside the window,
+	// the wait from first transmission to acceptance — the latency cost
+	// of recovering from wire errors.
 	Lat, DemandLat, BgLat stats.Quantiles
 	QueueRes              stats.Quantiles
+	RetryLat              stats.Quantiles
 }
 
 // AvgLatencyNs reports mean delivered latency in nanoseconds.
@@ -334,6 +342,10 @@ func Run(net *network.Network, cfg Config) Result {
 	r.res.PeakQueued = net.PeakQueued()
 	r.res.Reroutes = net.Reroutes()
 	r.res.NonMinimalHops = net.NonMinimalHops()
+	r.res.Retransmits = net.Retransmits()
+	r.res.DroppedHops = net.DroppedHops()
+	r.res.AckMsgs = net.AckOverhead()
+	r.res.Quarantines = net.Quarantines()
 	// The histograms were reset with the rest of the stats at measureStart,
 	// so they cover exactly the measured window.
 	all := net.PacketLatency()
@@ -341,6 +353,8 @@ func Run(net *network.Network, cfg Config) Result {
 	r.res.DemandLat = net.LatencyHist(network.CritDemand).Quantiles()
 	r.res.BgLat = net.LatencyHist(network.CritBackground).Quantiles()
 	r.res.QueueRes = net.ResidencyHist().Quantiles()
+	retry := net.RetryLatency()
+	r.res.RetryLat = retry.Quantiles()
 	return r.res
 }
 

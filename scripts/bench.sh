@@ -6,12 +6,12 @@
 # history of the simulator lives in the repo.
 #
 # Usage:
-#   scripts/bench.sh [output.json]          # default BENCH_pr8.json
+#   scripts/bench.sh [output.json]          # default BENCH_pr9.json
 #   BENCHTIME=300000x scripts/bench.sh      # heavier, steadier numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr8.json}"
+out="${1:-BENCH_pr9.json}"
 # The PR number is derived from the output filename (BENCH_pr<N>.json),
 # so future PRs get correctly stamped points by just naming their file.
 pr="$(basename "$out" | sed -n 's/^BENCH_pr\([0-9][0-9]*\)\.json$/\1/p')"
