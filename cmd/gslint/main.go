@@ -6,15 +6,18 @@
 //
 // Usage:
 //
-//	gslint [-list] [packages]
+//	gslint [-list] [-json] [-github] [packages]
 //
 // With no package patterns it checks ./.... Findings print as
-// file:line:col: message (analyzer), one per line; the exit status is 1
-// when anything is reported. Suppressions are //lint:<directive> <reason>
-// comments on the flagged line or the line above; the reason is required.
-// CI runs `go run ./cmd/gslint ./...` in the lint job, so a clean tree
-// stays clean: any new finding either gets fixed or gets a written
-// justification in the diff.
+// file:line:col: message (analyzer), one per line, sorted by (file, line,
+// col, analyzer) so output is byte-stable run to run; the exit status is
+// 1 when anything is reported. -json emits the findings as a JSON array
+// instead; -github emits GitHub Actions ::error workflow commands, which
+// CI uses to pin each finding to its line in the PR diff. Suppressions
+// are //lint:<directive> <reason> comments on the flagged line or the
+// line above; the reason is required. CI runs gslint in the lint job, so
+// a clean tree stays clean: any new finding either gets fixed or gets a
+// written justification in the diff.
 package main
 
 import (
@@ -27,11 +30,17 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	githubOut := flag.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: gslint [-list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gslint [-list] [-json] [-github] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *jsonOut && *githubOut {
+		fmt.Fprintln(os.Stderr, "gslint: -json and -github are mutually exclusive")
+		os.Exit(2)
+	}
 
 	analyzers := lint.Analyzers()
 	if *list {
@@ -47,8 +56,16 @@ func main() {
 		os.Exit(2)
 	}
 	diags := lint.RunAnalyzers(prog, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	write := writeText
+	switch {
+	case *jsonOut:
+		write = writeJSON
+	case *githubOut:
+		write = writeGitHub
+	}
+	if err := write(os.Stdout, diags); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "gslint: %d finding(s)\n", len(diags))

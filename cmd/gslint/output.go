@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"gs1280/internal/lint"
+)
+
+// jsonDiag is the stable wire form of one finding for -json consumers
+// (editor integrations, the CI annotation step). Field names are part of
+// the tool's interface; add, never rename.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeText prints findings in the classic file:line:col form, one per
+// line. Diagnostics arrive already sorted (file, line, col, analyzer), so
+// every mode's output is deterministic.
+func writeText(w io.Writer, diags []lint.Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeJSON prints findings as a single JSON array (not NDJSON: an empty
+// run emits `[]`, which distinguishes "clean" from "crashed" for scripts).
+func writeJSON(w io.Writer, diags []lint.Diagnostic) error {
+	out := make([]jsonDiag, len(diags))
+	for i, d := range diags {
+		out[i] = jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
+}
+
+// writeGitHub prints findings as GitHub Actions workflow commands, so a
+// CI run attaches each one to the offending line in the PR diff view.
+func writeGitHub(w io.Writer, diags []lint.Diagnostic) error {
+	for _, d := range diags {
+		_, err := fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=gslint(%s)::%s\n",
+			githubEscapeProp(d.Pos.Filename), d.Pos.Line, d.Pos.Column,
+			githubEscapeProp(d.Analyzer), githubEscapeData(d.Message))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// githubEscapeData escapes a workflow-command message per the Actions
+// runner's rules.
+func githubEscapeData(s string) string {
+	return strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace(s)
+}
+
+// githubEscapeProp escapes a workflow-command property value, which
+// additionally reserves ':' and ','.
+func githubEscapeProp(s string) string {
+	return strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C").Replace(s)
+}

@@ -61,6 +61,8 @@ const (
 // free list recycles them all; its embedded network.Packet carries the
 // once-bound OnDeliver, and network.Send rebinds nothing on reuse. The
 // steady-state miss path therefore allocates no closures and no packets.
+//
+//gs:pooled
 type msg struct {
 	s        *System
 	kind     msgKind

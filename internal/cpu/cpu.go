@@ -96,6 +96,8 @@ type CPU struct {
 // "small arg struct" of the zero-alloc convention: cpu.issue borrows a
 // record, stores the operation kind, and hands the pre-bound fn to the
 // memory system instead of a fresh closure.
+//
+//gs:pooled
 type opDone struct {
 	c     *CPU
 	write bool

@@ -68,18 +68,29 @@ type Options struct {
 }
 
 // expState tracks one experiment through a fleet run. Mutable fields are
-// guarded by the coordinator mutex.
+// guarded by the coordinator mutex (gslint concur checks the
+// annotations; spec and units are immutable after construction).
 type expState struct {
-	spec      experiments.Spec
-	units     []experiments.Unit
-	parts     []experiments.Part
-	settled   []bool // true: resumed from journal or completed, never (re)dispatched
-	attempts  []int
+	spec  experiments.Spec
+	units []experiments.Unit
+	//gs:guardedby mu
+	parts []experiments.Part
+	// settled: true means resumed from journal or completed, never
+	// (re)dispatched.
+	//gs:guardedby mu
+	settled []bool
+	//gs:guardedby mu
+	attempts []int
+	//gs:guardedby mu
 	remaining int
-	err       error
-	started   bool
-	start     time.Time
-	work      time.Duration
+	//gs:guardedby mu
+	err error
+	//gs:guardedby mu
+	started bool
+	//gs:guardedby mu
+	start time.Time
+	//gs:guardedby mu
+	work time.Duration
 }
 
 type job struct{ exp, unit int }
@@ -93,16 +104,20 @@ type coord struct {
 	states  []*expState
 	results []runner.Result
 
-	mu          sync.Mutex
-	queue       chan job
-	doneCh      chan struct{} // closed when every job is accounted for
+	mu     sync.Mutex
+	queue  chan job
+	doneCh chan struct{} // closed when every job is accounted for
+	//gs:guardedby mu
 	outstanding int
-	doneUnits   int
-	totalUnits  int
-	liveSlots   int
-	jnl         *journal
-	jnlErr      error
-	progressCh  chan runner.UnitDone
+	//gs:guardedby mu
+	doneUnits  int
+	totalUnits int
+	//gs:guardedby mu
+	liveSlots int
+	jnl       *journal
+	//gs:guardedby mu
+	jnlErr     error
+	progressCh chan runner.UnitDone
 }
 
 // Run executes the experiments named by ids on a worker fleet and returns
@@ -178,6 +193,10 @@ func Run(ctx context.Context, ids []string, opts Options) ([]runner.Result, erro
 		if err != nil {
 			return nil, err
 		}
+		// Pre-concurrency, so the lock is uncontended; holding it anyway
+		// keeps "guarded fields are only touched under mu" literally
+		// true instead of phase-dependent.
+		c.mu.Lock()
 		for exp, st := range c.states {
 			if st == nil {
 				continue
@@ -188,6 +207,7 @@ func Run(ctx context.Context, ids []string, opts Options) ([]runner.Result, erro
 				st.remaining--
 			}
 		}
+		c.mu.Unlock()
 		resumedRecords = records
 	}
 
@@ -203,6 +223,7 @@ func Run(ctx context.Context, ids []string, opts Options) ([]runner.Result, erro
 				Version: journalVersion, Suite: c.suite, IDs: ids, Quick: opts.Quick,
 			})
 			if err == nil && len(resumedRecords) > 0 {
+				c.mu.Lock()
 				for exp, st := range c.states {
 					if st == nil {
 						continue
@@ -221,6 +242,7 @@ func Run(ctx context.Context, ids []string, opts Options) ([]runner.Result, erro
 						}
 					}
 				}
+				c.mu.Unlock()
 			}
 		}
 		if err != nil {
@@ -230,6 +252,7 @@ func Run(ctx context.Context, ids []string, opts Options) ([]runner.Result, erro
 	}
 
 	var jobs []job
+	c.mu.Lock()
 	for exp, st := range c.states {
 		if st == nil {
 			continue
@@ -242,6 +265,7 @@ func Run(ctx context.Context, ids []string, opts Options) ([]runner.Result, erro
 	}
 	c.totalUnits = len(jobs)
 	c.outstanding = len(jobs)
+	c.mu.Unlock()
 
 	if len(jobs) > 0 {
 		c.queue = make(chan job, len(jobs))
@@ -281,7 +305,11 @@ func Run(ctx context.Context, ids []string, opts Options) ([]runner.Result, erro
 
 	// Assemble in id order. Which worker, attempt, process generation or
 	// resume produced each part is invisible here: parts sit at their
-	// declared indices and merge in declared order.
+	// declared indices and merge in declared order. Every slot goroutine
+	// has joined, so the lock is uncontended — held for the guarded-field
+	// discipline, released on return.
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if err := ctx.Err(); err != nil {
 		for i, st := range c.states {
 			if st != nil && st.remaining > 0 && c.results[i].Err == nil {
@@ -540,6 +568,8 @@ func (c *coord) requeue(j job, err error) {
 
 // account (called with mu held) retires one job from the outstanding set
 // and emits its progress event; the final job closes doneCh.
+//
+//gs:holds mu
 func (c *coord) account(j job, elapsed time.Duration) {
 	st := c.states[j.exp]
 	c.outstanding--

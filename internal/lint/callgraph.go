@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CallGraph is a cheap whole-program call graph in the CHA (class
+// hierarchy analysis) style: sound over-approximation, no dataflow.
+// Nodes are module-declared functions; edges point at every function a
+// body could invoke:
+//
+//   - direct calls and qualified calls resolve to their static callee;
+//   - calls and method values through an interface resolve to the same
+//     method on every module type implementing that interface (the CHA
+//     step — any of them could be behind the interface);
+//   - a function merely *referenced* as a value (stored in a struct
+//     field, passed as a callback, bound to a timer) gets an edge from
+//     the referencing function, because the reference is how the callee
+//     later becomes reachable through a dynamic call the graph cannot
+//     see.
+//
+// Function literals are flattened into their enclosing declaration: a
+// closure built inside F contributes F's out-edges. That matches how the
+// analyzers use the graph — "what can run because F ran" — and keeps
+// nodes identifiable by *types.Func.
+//
+// Edges may point outside the module (time.Now is a perfectly good edge
+// target); only module functions have out-edges, so traversals stop at
+// the module boundary naturally.
+type CallGraph struct {
+	// Out maps each module function to its deduplicated callees in
+	// first-reference source order — deterministic across runs, which
+	// keeps diagnostic chains stable.
+	Out map[*types.Func][]*types.Func
+}
+
+// CallGraph builds (once — the result is cached on the Program) the
+// whole-program call graph over every loaded module package.
+func (pr *Program) CallGraph() *CallGraph {
+	if pr.cg != nil {
+		return pr.cg
+	}
+	b := &cgBuilder{
+		prog:     pr,
+		out:      make(map[*types.Func][]*types.Func),
+		chaCache: make(map[*types.Func][]*types.Func),
+	}
+	b.collectImplCandidates()
+	for _, pkg := range pr.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				b.addEdges(fn, fd, pkg)
+			}
+		}
+	}
+	pr.cg = &CallGraph{Out: b.out}
+	return pr.cg
+}
+
+// cgBuilder accumulates edges for one CallGraph construction.
+type cgBuilder struct {
+	prog *Program
+	out  map[*types.Func][]*types.Func
+	// impls lists every named non-interface type declared at package
+	// level in the module, in deterministic (package, name) order — the
+	// candidate set for CHA interface dispatch.
+	impls []types.Type
+	// chaCache memoizes interface method -> implementing module methods.
+	chaCache map[*types.Func][]*types.Func
+}
+
+// collectImplCandidates gathers the module's package-level named types.
+func (b *cgBuilder) collectImplCandidates() {
+	for _, pkg := range b.prog.Pkgs {
+		scope := pkg.Types.Scope()
+		names := scope.Names()
+		sort.Strings(names)
+		for _, name := range names {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			t := tn.Type()
+			if types.IsInterface(t.Underlying()) {
+				continue
+			}
+			b.impls = append(b.impls, t)
+		}
+	}
+}
+
+// addEdges records every function the body of fn can reach directly:
+// one edge per used *types.Func identifier (covering calls, qualified
+// calls, method calls/values, and plain references), with interface
+// methods expanded CHA-style to their module implementations.
+func (b *cgBuilder) addEdges(fn *types.Func, fd *ast.FuncDecl, pkg *Package) {
+	seen := make(map[*types.Func]bool)
+	add := func(callee *types.Func) {
+		callee = callee.Origin()
+		if !seen[callee] {
+			seen[callee] = true
+			b.out[fn] = append(b.out[fn], callee)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		callee, ok := pkg.Info.Uses[id].(*types.Func)
+		if !ok {
+			return true
+		}
+		if isInterfaceMethod(callee) {
+			for _, impl := range b.chaTargets(callee) {
+				add(impl)
+			}
+			return true
+		}
+		add(callee)
+		return true
+	})
+}
+
+// isInterfaceMethod reports whether fn is an abstract method declared on
+// an interface type (so a use of it dispatches dynamically).
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type().Underlying())
+}
+
+// chaTargets resolves an abstract interface method to the concrete
+// methods of every module type implementing the interface.
+func (b *cgBuilder) chaTargets(m *types.Func) []*types.Func {
+	if ts, ok := b.chaCache[m]; ok {
+		return ts
+	}
+	var targets []*types.Func
+	sig := m.Type().(*types.Signature)
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if ok {
+		for _, t := range b.impls {
+			if !types.Implements(t, iface) && !types.Implements(types.NewPointer(t), iface) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(t, true, m.Pkg(), m.Name())
+			if impl, ok := obj.(*types.Func); ok {
+				targets = append(targets, impl.Origin())
+			}
+		}
+	}
+	b.chaCache[m] = targets
+	return targets
+}
+
+// ReachableFrom runs a breadth-first traversal from roots and returns
+// the parent map: every reached function maps to the function it was
+// first reached from (roots map to nil). Traversal order — and thus
+// parent choice — is deterministic given deterministic root order.
+func (g *CallGraph) ReachableFrom(roots []*types.Func) map[*types.Func]*types.Func {
+	parent := make(map[*types.Func]*types.Func, len(roots))
+	queue := make([]*types.Func, 0, len(roots))
+	for _, r := range roots {
+		r = r.Origin()
+		if _, ok := parent[r]; !ok {
+			parent[r] = nil
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range g.Out[fn] {
+			if _, ok := parent[callee]; !ok {
+				parent[callee] = fn
+				queue = append(queue, callee)
+			}
+		}
+	}
+	return parent
+}
+
+// CallChain renders the root-to-fn path recorded in a ReachableFrom
+// parent map, e.g. "experiments.Specs → workload.NewGUPS → cache.fill".
+// Long chains elide their middle: the root and the last hops are what a
+// reader needs to locate the path.
+func CallChain(parent map[*types.Func]*types.Func, fn *types.Func) string {
+	var hops []string
+	for f := fn; f != nil; f = parent[f] {
+		hops = append(hops, shortFuncName(f))
+		if _, ok := parent[f]; !ok {
+			break
+		}
+	}
+	// hops is leaf..root; reverse it.
+	for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 {
+		hops[i], hops[j] = hops[j], hops[i]
+	}
+	const max = 6
+	if len(hops) > max {
+		head, tail := hops[:2], hops[len(hops)-(max-2):]
+		hops = append(append(append([]string{}, head...), "…"), tail...)
+	}
+	return strings.Join(hops, " → ")
+}
+
+// shortFuncName renders fn compactly: "pkg.Func" or "pkg.Type.Method".
+func shortFuncName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		return pkgBase(fn.Pkg().Path()) + "." + name
+	}
+	return name
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadDetflowFixture loads the detflow fixture program (helper +
+// experiments) used by the call-graph tests.
+func loadDetflowFixture(t *testing.T) *Program {
+	t.Helper()
+	root := filepath.Join("testdata", "src")
+	prog, err := LoadFixture(root, "detflow/helper", "detflow/experiments")
+	if err != nil {
+		t.Fatalf("LoadFixture: %v", err)
+	}
+	return prog
+}
+
+// fixtureFunc resolves a package-scope function or method by name, e.g.
+// "detflow/helper".Tainted or "detflow/helper".(Clock).Value.
+func fixtureFunc(t *testing.T, prog *Program, pkgPath, recv, name string) *types.Func {
+	t.Helper()
+	for _, pkg := range prog.Pkgs {
+		if pkg.Path != pkgPath {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		if recv == "" {
+			if fn, ok := scope.Lookup(name).(*types.Func); ok {
+				return fn
+			}
+			t.Fatalf("%s.%s: not a package-scope func", pkgPath, name)
+		}
+		tn, ok := scope.Lookup(recv).(*types.TypeName)
+		if !ok {
+			t.Fatalf("%s.%s: not a type", pkgPath, recv)
+		}
+		obj, _, _ := types.LookupFieldOrMethod(tn.Type(), true, pkg.Types, name)
+		if fn, ok := obj.(*types.Func); ok {
+			return fn
+		}
+		t.Fatalf("%s.(%s).%s: not a method", pkgPath, recv, name)
+	}
+	t.Fatalf("package %s not loaded", pkgPath)
+	return nil
+}
+
+// TestCallGraphReachability pins the properties detflow's soundness rests
+// on: direct calls and closure bodies are edges, an interface-method use
+// expands (CHA-style) to every module type implementing it, and a
+// function nothing references stays unreachable.
+func TestCallGraphReachability(t *testing.T) {
+	prog := loadDetflowFixture(t)
+	roots := detflowRoots(prog)
+	if len(roots) == 0 {
+		t.Fatal("no experiment roots found in fixture")
+	}
+	reach := prog.CallGraph().ReachableFrom(roots)
+
+	helper := "detflow/helper"
+	wantReachable := []struct {
+		recv, name string
+		why        string
+	}{
+		{"", "Tainted", "called from a Specs closure"},
+		{"", "clockNow", "transitively via Tainted"},
+		{"", "Summarize", "called from Stats"},
+		{"Clock", "Value", "only via the source interface: CHA expansion"},
+	}
+	for _, w := range wantReachable {
+		fn := fixtureFunc(t, prog, helper, w.recv, w.name)
+		if _, ok := reach[fn]; !ok {
+			t.Errorf("%s.%s%s should be reachable (%s)", helper, w.recv, w.name, w.why)
+		}
+	}
+
+	unreached := fixtureFunc(t, prog, helper, "", "Unreached")
+	if _, ok := reach[unreached]; ok {
+		t.Errorf("%s.Unreached is referenced by nothing and must not be reachable", helper)
+	}
+}
+
+// TestCallGraphChain checks the rendered root→sink chain that detflow
+// embeds in its messages: it starts at an experiments root and ends at
+// the function holding the sink.
+func TestCallGraphChain(t *testing.T) {
+	prog := loadDetflowFixture(t)
+	reach := prog.CallGraph().ReachableFrom(detflowRoots(prog))
+	clockNow := fixtureFunc(t, prog, "detflow/helper", "", "clockNow")
+	if _, ok := reach[clockNow]; !ok {
+		t.Fatal("clockNow not reachable; cannot render a chain")
+	}
+	chain := CallChain(reach, clockNow)
+	if !strings.HasPrefix(chain, "experiments.") {
+		t.Errorf("chain %q should start at an experiments root", chain)
+	}
+	if !strings.HasSuffix(chain, "helper.clockNow") {
+		t.Errorf("chain %q should end at the sink's function", chain)
+	}
+	if !strings.Contains(chain, " → ") {
+		t.Errorf("chain %q should show at least one edge", chain)
+	}
+}
+
+// TestCallGraphDeterministic pins that edge order is deterministic: two
+// independently built graphs over the same program are identical. The
+// diagnostic ordering guarantee (file, line, col, analyzer) depends on
+// this.
+func TestCallGraphDeterministic(t *testing.T) {
+	a := loadDetflowFixture(t).CallGraph()
+	b := loadDetflowFixture(t).CallGraph()
+	if len(a.Out) != len(b.Out) {
+		t.Fatalf("graph sizes differ: %d vs %d", len(a.Out), len(b.Out))
+	}
+	for fn, outs := range a.Out {
+		var match []*types.Func
+		for bfn, bouts := range b.Out {
+			if bfn.FullName() == fn.FullName() {
+				match = bouts
+				break
+			}
+		}
+		if len(match) != len(outs) {
+			t.Fatalf("%s: edge counts differ: %d vs %d", fn.FullName(), len(outs), len(match))
+		}
+		for i := range outs {
+			if outs[i].FullName() != match[i].FullName() {
+				t.Errorf("%s: edge %d differs: %s vs %s", fn.FullName(), i, outs[i].FullName(), match[i].FullName())
+			}
+		}
+	}
+}

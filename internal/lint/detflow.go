@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetFlow proves, by whole-program reachability, that no code path from
+// experiment entry points observes a nondeterministic source. detsource
+// and detrange police a fixed package allowlist; detflow replaces the
+// allowlist with the property the allowlist approximates: starting from
+// every function in internal/experiments (the package whose Unit.Run
+// closures are the roots of all simulated work), walk the call graph and
+// flag any reachable wall-clock read, global math/rand use, environment
+// read, or unordered map iteration — wherever it lives. A helper package
+// nobody thought to allowlist (stats, workload, cache, ...) is covered
+// the moment an experiment can reach it.
+//
+// runner/fleet wall-clock use stays legal not because those packages are
+// exempt but because they are upstream of the roots: they call *into*
+// experiments, so no experiment path reaches them. Sinks inside packages
+// detsource/detrange already police are skipped here — one finding per
+// violation, from the analyzer whose contract is narrowest.
+//
+// Waivers are the same annotated-sink directives the per-package
+// analyzers use: //lint:wallclock-ok, //lint:nondet-ok and
+// //lint:unordered-ok at the sink line, each with a mandatory reason.
+var DetFlow = &Analyzer{
+	Name:         "detflow",
+	Doc:          "proves no path from experiment entry points reaches wall-clock, global rand, env, or map-order sinks",
+	WholeProgram: true,
+	Run:          runDetFlow,
+}
+
+// detflowRootPkg is the package (by base name) whose functions root the
+// reachability walk: every experiment unit, spec and table builder lives
+// there, and every Unit.Run closure is declared inside one of its
+// functions — so rooting at all of them soundly over-approximates "code
+// that can run inside a simulation", including closures passed through
+// func-typed fields the call graph cannot trace.
+const detflowRootPkg = "experiments"
+
+func runDetFlow(p *Pass) {
+	roots := detflowRoots(p.Prog)
+	if len(roots) == 0 {
+		return
+	}
+	parent := p.Prog.CallGraph().ReachableFrom(roots)
+	// Scan reachable module functions for sinks, in deterministic
+	// package/file/declaration order.
+	for _, pkg := range p.Prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				if _, reachable := parent[fn]; !reachable {
+					continue
+				}
+				scanDetFlowSinks(p, pkg, fn, fd, parent)
+			}
+		}
+	}
+}
+
+// detflowRoots lists every function declared in the root package, in
+// source order.
+func detflowRoots(prog *Program) []*types.Func {
+	var roots []*types.Func
+	for _, pkg := range prog.Pkgs {
+		if pkgBase(pkg.Path) != detflowRootPkg {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					roots = append(roots, fn)
+				}
+			}
+		}
+	}
+	return roots
+}
+
+// scanDetFlowSinks reports nondeterministic sinks inside one reachable
+// function. Sinks that detsource/detrange already police in fn's package
+// are skipped so each violation is reported exactly once.
+func scanDetFlowSinks(p *Pass, pkg *Package, fn *types.Func, fd *ast.FuncDecl, parent map[*types.Func]*types.Func) {
+	srcCovered := DetSource.AppliesTo(pkg.Path)
+	rangeCovered := IsDeterministicPkg(pkg.Path)
+	chain := func() string { return CallChain(parent, fn) }
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if srcCovered {
+				return true
+			}
+			callee := Callee(pkg.Info, n)
+			if callee == nil {
+				return true
+			}
+			switch funcPkgPath(callee) {
+			case "time":
+				if wallclockFuncs[callee.Name()] && callee.Type().(*types.Signature).Recv() == nil {
+					p.Reportf(n.Pos(), DirWallclockOK,
+						"time.%s is reachable from experiment code (%s): wall clock cannot feed simulated state; use sim.Engine time or justify with //lint:wallclock-ok", callee.Name(), chain())
+				}
+			case "math/rand", "math/rand/v2":
+				if callee.Type().(*types.Signature).Recv() == nil {
+					p.Reportf(n.Pos(), DirNondetOK,
+						"global math/rand.%s is reachable from experiment code (%s): use a seeded sim.RNG or justify with //lint:nondet-ok", callee.Name(), chain())
+				}
+			case "os":
+				if envFuncs[callee.Name()] {
+					p.Reportf(n.Pos(), DirNondetOK,
+						"os.%s is reachable from experiment code (%s): thread configuration through the Spec or justify with //lint:nondet-ok", callee.Name(), chain())
+				}
+			}
+		case *ast.RangeStmt:
+			if rangeCovered {
+				return true
+			}
+			tv, ok := pkg.Info.Types[n.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isKeyCollectLoop(pkg.Info, n) {
+				return true
+			}
+			p.Reportf(n.For, DirUnorderedOK,
+				"range over map %s is reachable from experiment code (%s): iteration order is randomized; sort keys first or justify with //lint:unordered-ok", exprString(n.X), chain())
+		}
+		return true
+	})
+}

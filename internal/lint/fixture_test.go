@@ -80,6 +80,34 @@ func TestTimerArgFixture(t *testing.T) {
 	}
 }
 
+func TestPoolSafeFixture(t *testing.T) {
+	diags := checkFixture(t, PoolSafe, "poolsafe")
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics; it must demonstrate at least one caught violation")
+	}
+}
+
+func TestDetFlowFixture(t *testing.T) {
+	diags := checkFixture(t, DetFlow, "detflow/experiments", "detflow/helper")
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics; it must demonstrate at least one caught violation")
+	}
+}
+
+func TestConcurFixture(t *testing.T) {
+	diags := checkFixture(t, Concur, "concur")
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics; it must demonstrate at least one caught violation")
+	}
+}
+
+func TestConcurDeterministicPackageFixture(t *testing.T) {
+	diags := checkFixture(t, Concur, "concur/machine")
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics; it must demonstrate the deterministic-package goroutine rule")
+	}
+}
+
 // TestGslintRepoClean is the ratchet: the real module must produce zero
 // findings, so any new violation (or new unjustified suppression) fails
 // `go test ./...` as well as the CI lint job.

@@ -61,11 +61,14 @@ func (p *Pass) Reportf(pos token.Pos, directive string, format string, args ...a
 // line N-1. The reason is mandatory: a bare directive does not suppress,
 // so every waiver in the tree carries its justification.
 const (
-	DirUnorderedOK = "unordered-ok" // detrange: iteration order provably irrelevant
-	DirWallclockOK = "wallclock-ok" // detsource: wall-clock read never feeds simulated state
-	DirNondetOK    = "nondet-ok"    // detsource: rand/env use outside the simulated state path
+	DirUnorderedOK = "unordered-ok" // detrange/detflow: iteration order provably irrelevant
+	DirWallclockOK = "wallclock-ok" // detsource/detflow: wall-clock read never feeds simulated state
+	DirNondetOK    = "nondet-ok"    // detsource/detflow: rand/env use outside the simulated state path
 	DirAllocOK     = "alloc-ok"     // noalloc: allocation is cold, amortized, or pre-warmed
 	DirTimerOK     = "timer-ok"     // timerarg: closure scheduling off the hot path
+	DirPoolOK      = "pool-ok"      // poolsafe: pooled-record lifetime manually audited
+	DirUnlockedOK  = "unlocked-ok"  // concur: access provably excluded without the lock
+	DirGoroutineOK = "goroutine-ok" // concur: goroutine lifecycle managed elsewhere
 )
 
 // suppression is one parsed //lint: directive. A directive covers its own
@@ -149,7 +152,7 @@ func isHotPkg(path string) bool {
 
 // Analyzers returns the full gslint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetRange, DetSource, NoAlloc, TimerArg}
+	return []*Analyzer{DetRange, DetSource, NoAlloc, TimerArg, PoolSafe, DetFlow, Concur}
 }
 
 // RunAnalyzers applies each analyzer to every module package it applies
@@ -175,6 +178,9 @@ func RunAnalyzers(prog *Program, analyzers []*Analyzer) []Diagnostic {
 			runOne(prog, a, pkg, report)
 		}
 	}
+	// Deterministic reporting order: (file, line, col, analyzer,
+	// message) — stable across runs, analyzer sets and machines, so CI
+	// diffs and the -json output are reproducible.
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -185,6 +191,9 @@ func RunAnalyzers(prog *Program, analyzers []*Analyzer) []Diagnostic {
 		}
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
 		}
 		return a.Message < b.Message
 	})

@@ -63,6 +63,8 @@ type Program struct {
 	files map[string]*ast.File
 	// suppCache caches parsed //lint: directives per filename.
 	suppCache map[string][]suppression
+	// cg caches the whole-program call graph (built on first use).
+	cg *CallGraph
 }
 
 // FuncDecl pairs a function declaration with its enclosing package.

@@ -1,0 +1,469 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PoolSafe checks the lifecycle of pooled records — types annotated
+// `//gs:pooled` on their declaration. The hot paths recycle message,
+// completion and retransmission records through free-list slices so the
+// steady state allocates nothing; the price is manual lifetime
+// management with exactly the bug classes a GC normally rules out:
+//
+//   - use-after-put: touching a record after it went back on its free
+//     list (the next get hands the same record to someone else);
+//   - double-put: releasing a record twice puts it on the free list
+//     twice, so two owners later share it;
+//   - escape: storing a pooled pointer into a long-lived structure
+//     (struct field, map, non-pool slice) without an epoch stamp — the
+//     pool recycles the record while the structure still points at it.
+//     Types carrying an `epoch` field are exempt from the escape check:
+//     the reliable-links layer stamps records and revalidates the epoch
+//     at use, which is exactly the sanctioned way to retain one.
+//
+// A release site is either an append onto a free list (an append whose
+// destination names itself `free`/`pool`) or a call to a releaser — a
+// function that directly appends a pooled parameter onto a free list,
+// like coherence's putMsg. The analysis is block-structured and
+// branch-insensitive: a release followed in the same statement list by a
+// use or another release of the same variable is flagged; releases
+// inside a branch do not leak into the code after the branch, so the
+// conditional-release idiom stays clean. The sanctioned dispatch idiom —
+// copy the fields you need into locals, release the record, then act on
+// the locals — passes by construction.
+//
+// Waive audited exceptions with `//lint:pool-ok <reason>`.
+var PoolSafe = &Analyzer{
+	Name:         "poolsafe",
+	Doc:          "checks //gs:pooled record lifecycles: use-after-put, double-put, unstamped escapes",
+	WholeProgram: true,
+	Run:          runPoolSafe,
+}
+
+// gsPooledDirective marks a type whose values cycle through a free list.
+const gsPooledDirective = "//gs:pooled"
+
+// pooledType describes one annotated type.
+type pooledType struct {
+	named    *types.Named
+	hasEpoch bool
+}
+
+func runPoolSafe(p *Pass) {
+	pooled := collectPooledTypes(p.Prog)
+	if len(pooled) == 0 {
+		return
+	}
+	c := &poolsafeChecker{
+		pass:      p,
+		pooled:    pooled,
+		releasers: collectReleasers(p.Prog, pooled),
+	}
+	for _, pkg := range p.Prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				c.info = pkg.Info
+				c.checkList(fd.Body.List, make(map[types.Object]releaseSite))
+			}
+		}
+	}
+}
+
+// collectPooledTypes finds every //gs:pooled type declaration.
+func collectPooledTypes(prog *Program) map[*types.Named]*pooledType {
+	out := make(map[*types.Named]*pooledType)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil && len(gd.Specs) == 1 {
+						doc = gd.Doc
+					}
+					if !hasDirective(doc, gsPooledDirective) {
+						continue
+					}
+					tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+					if !ok {
+						continue
+					}
+					named, ok := tn.Type().(*types.Named)
+					if !ok {
+						continue
+					}
+					out[named] = &pooledType{named: named, hasEpoch: hasEpochField(named)}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// hasDirective reports whether any comment line of doc starts with the
+// given //gs: directive.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// hasEpochField reports whether the named type's underlying struct
+// carries an epoch stamp.
+func hasEpochField(named *types.Named) bool {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if name := st.Field(i).Name(); name == "epoch" || name == "Epoch" {
+			return true
+		}
+	}
+	return false
+}
+
+// collectReleasers finds functions that release a pooled parameter by
+// appending it directly onto a free list (coherence.putMsg is the
+// shape). The map records the released parameter's index.
+func collectReleasers(prog *Program, pooled map[*types.Named]*pooledType) map[*types.Func]int {
+	out := make(map[*types.Func]int)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				params := fn.Type().(*types.Signature).Params()
+				for i := 0; i < params.Len(); i++ {
+					pv := params.At(i)
+					if pooledPtrElem(pooled, pv.Type()) == nil {
+						continue
+					}
+					if releasesParam(pkg.Info, fd.Body, pv) {
+						out[fn] = i
+						break
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// releasesParam reports whether the body contains a free-list append of
+// the parameter pv.
+func releasesParam(info *types.Info, body *ast.BlockStmt, pv *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || found {
+			return !found
+		}
+		dst, arg := freeListAppend(info, as)
+		if arg == nil || dst == "" {
+			return true
+		}
+		if obj, ok := info.Uses[arg].(*types.Var); ok && obj == pv {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// freeListAppend decomposes `dst = append(dst, v)`: it returns the
+// destination expression's rendering and the appended identifier (nil if
+// the statement has a different shape or appends a non-identifier).
+func freeListAppend(info *types.Info, as *ast.AssignStmt) (string, *ast.Ident) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 || !isAppendAssign(info, as) {
+		return "", nil
+	}
+	call := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if len(call.Args) != 2 {
+		return "", nil
+	}
+	id, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+	if !ok {
+		return exprString(as.Lhs[0]), nil
+	}
+	return exprString(as.Lhs[0]), id
+}
+
+// isPoolName reports whether a destination expression names a free list.
+func isPoolName(s string) bool {
+	ls := strings.ToLower(s)
+	return strings.Contains(ls, "free") || strings.Contains(ls, "pool")
+}
+
+// pooledPtrElem returns the pooled type behind t if t is a pointer to an
+// annotated type.
+func pooledPtrElem(pooled map[*types.Named]*pooledType, t types.Type) *pooledType {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return nil
+	}
+	return pooled[named.Origin()]
+}
+
+// releaseSite records where a variable was released.
+type releaseSite struct {
+	pos token.Pos
+	typ *pooledType
+}
+
+// poolsafeChecker walks one function at a time.
+type poolsafeChecker struct {
+	pass      *Pass
+	pooled    map[*types.Named]*pooledType
+	releasers map[*types.Func]int
+	info      *types.Info
+}
+
+// checkList walks one statement list in order, tracking which pooled
+// variables have been released. Nested branches get a copy of the state:
+// a release inside a branch is checked within it but does not poison the
+// statements after the branch.
+func (c *poolsafeChecker) checkList(list []ast.Stmt, released map[types.Object]releaseSite) {
+	for _, st := range list {
+		if obj, site, ok := c.releaseIn(st); ok {
+			if obj != nil {
+				if prev, dup := released[obj]; dup {
+					c.pass.Reportf(st.Pos(), DirPoolOK,
+						"double put of pooled *%s %q: already released at line %d",
+						site.typ.named.Obj().Name(), obj.Name(), c.pass.Fset.Position(prev.pos).Line)
+				}
+				released[obj] = site
+			}
+			continue
+		}
+		c.checkStmt(st, released)
+	}
+}
+
+// releaseIn recognizes a release statement: a free-list append of a
+// pooled identifier, or a call to a releaser function with an identifier
+// argument at the released position. It returns the released object
+// (nil when the released value is not a trackable identifier).
+func (c *poolsafeChecker) releaseIn(st ast.Stmt) (types.Object, releaseSite, bool) {
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		dst, arg := freeListAppend(c.info, s)
+		if arg == nil {
+			return nil, releaseSite{}, false
+		}
+		pt := pooledPtrElem(c.pooled, c.typeOf(arg))
+		if pt == nil {
+			return nil, releaseSite{}, false
+		}
+		if !isPoolName(dst) {
+			// Append of a pooled pointer into something that is not a
+			// free list: that is an escape, handled by checkStmt.
+			return nil, releaseSite{}, false
+		}
+		obj, _ := c.info.Uses[arg].(*types.Var)
+		return types.Object(obj), releaseSite{pos: s.Pos(), typ: pt}, true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return nil, releaseSite{}, false
+		}
+		fn := Callee(c.info, call)
+		if fn == nil {
+			return nil, releaseSite{}, false
+		}
+		idx, ok := c.releasers[fn]
+		if !ok || idx >= len(call.Args) {
+			return nil, releaseSite{}, false
+		}
+		arg, ok := ast.Unparen(call.Args[idx]).(*ast.Ident)
+		if !ok {
+			return nil, releaseSite{}, true // released, but untrackable
+		}
+		pt := pooledPtrElem(c.pooled, c.typeOf(arg))
+		if pt == nil {
+			return nil, releaseSite{}, false
+		}
+		obj, _ := c.info.Uses[arg].(*types.Var)
+		return types.Object(obj), releaseSite{pos: s.Pos(), typ: pt}, true
+	}
+	return nil, releaseSite{}, false
+}
+
+// checkStmt processes one non-release statement: clears reassigned
+// variables, reports uses of released ones and unsanctioned escapes, and
+// recurses into nested statement lists with copied state.
+func (c *poolsafeChecker) checkStmt(st ast.Stmt, released map[types.Object]releaseSite) {
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.scanUses(rhs, released)
+		}
+		c.checkEscape(s)
+		for _, lhs := range s.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if obj := c.info.Uses[id]; obj != nil {
+					delete(released, obj) // reassigned: fresh value
+				}
+			} else {
+				c.scanUses(lhs, released)
+			}
+		}
+	case *ast.BlockStmt:
+		c.checkList(s.List, released)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.checkStmt(s.Init, released)
+		}
+		c.scanUses(s.Cond, released)
+		c.checkList(s.Body.List, cloneReleased(released))
+		if s.Else != nil {
+			c.checkStmt(s.Else, cloneReleased(released))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.checkStmt(s.Init, released)
+		}
+		if s.Cond != nil {
+			c.scanUses(s.Cond, released)
+		}
+		c.checkList(s.Body.List, cloneReleased(released))
+	case *ast.RangeStmt:
+		c.scanUses(s.X, released)
+		c.checkList(s.Body.List, cloneReleased(released))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.checkStmt(s.Init, released)
+		}
+		if s.Tag != nil {
+			c.scanUses(s.Tag, released)
+		}
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				c.checkList(clause.Body, cloneReleased(released))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				c.checkList(clause.Body, cloneReleased(released))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CommClause); ok {
+				c.checkList(clause.Body, cloneReleased(released))
+			}
+		}
+	case *ast.LabeledStmt:
+		c.checkStmt(s.Stmt, released)
+	default:
+		// Straight-line statement (expr, return, send, defer, go, decl,
+		// incdec): any reference to a released variable is a use.
+		// Passing a pooled pointer as a call argument is not an escape —
+		// that is the normal way records move (timers, dispatch
+		// callbacks) — so calls are only use sites, never escape sites.
+		c.scanUses(st, released)
+	}
+}
+
+// scanUses reports every identifier in n that refers to a released
+// pooled variable.
+func (c *poolsafeChecker) scanUses(n ast.Node, released map[types.Object]releaseSite) {
+	if n == nil || len(released) == 0 {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := c.info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if site, ok := released[obj]; ok {
+			c.pass.Reportf(id.Pos(), DirPoolOK,
+				"use of pooled *%s %q after it was returned to its pool at line %d: the next get hands this record to another owner",
+				site.typ.named.Obj().Name(), id.Name, c.pass.Fset.Position(site.pos).Line)
+		}
+		return true
+	})
+}
+
+// checkEscape flags stores of pooled pointers into long-lived structures
+// without an epoch stamp: struct fields, slice/map elements, and appends
+// to non-pool slices.
+func (c *poolsafeChecker) checkEscape(s *ast.AssignStmt) {
+	// Append onto something that is not a free list.
+	if dst, arg := freeListAppend(c.info, s); arg != nil && !isPoolName(dst) {
+		if pt := pooledPtrElem(c.pooled, c.typeOf(arg)); pt != nil && !pt.hasEpoch {
+			c.pass.Reportf(s.Pos(), DirPoolOK,
+				"pooled *%s appended to %s, which is not a free list: the pool will recycle it while %s still holds it; stamp the type with an epoch field or justify with //lint:pool-ok",
+				pt.named.Obj().Name(), dst, dst)
+		}
+		return
+	}
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		switch ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr:
+		default:
+			continue
+		}
+		pt := pooledPtrElem(c.pooled, c.typeOf(s.Rhs[i]))
+		if pt == nil || pt.hasEpoch || isPoolName(exprString(lhs)) {
+			continue
+		}
+		c.pass.Reportf(s.Pos(), DirPoolOK,
+			"pooled *%s stored into %s: it outlives its pool epoch; stamp the type with an epoch field or justify with //lint:pool-ok",
+			pt.named.Obj().Name(), exprString(lhs))
+	}
+}
+
+func (c *poolsafeChecker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := c.info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// cloneReleased copies the released-variable state for a branch.
+func cloneReleased(m map[types.Object]releaseSite) map[types.Object]releaseSite {
+	out := make(map[types.Object]releaseSite, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+// Package concur exercises the concurrency-discipline analyzer: the
+// //gs:guardedby access check and the goroutine join/cancel-path check,
+// with one accepted shape for each rule.
+package concur
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// n is the shared tally.
+	//
+	//gs:guardedby mu
+	n    int
+	hits int //gs:guardedby mu
+}
+
+// Add locks before touching the guarded fields: accepted.
+func (c *counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+	c.hits++
+}
+
+// bump runs under the caller-holds contract: accepted.
+//
+//gs:holds mu
+func (c *counter) bump() { c.n++ }
+
+// Race touches a guarded field with no lock anywhere in the function.
+func (c *counter) Race() int {
+	return c.n // want "no prior mu.Lock"
+}
+
+// Waived reads a guarded field pre-concurrency with an audited reason.
+func (c *counter) Waived() int {
+	//lint:unlocked-ok fixture: pre-concurrency setup read demonstration
+	return c.n
+}
+
+// leak spawns a goroutine that loops forever with no cancel path.
+func leak(ch chan int) {
+	go func() { // want "no visible join or cancel"
+		for {
+			ch <- 1
+		}
+	}()
+}
+
+// joined spawns the accepted WaitGroup shape.
+func joined(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// drain ranges over a channel: terminates when the sender closes it.
+func drain(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// cancelable loops with a select receive case that returns.
+func cancelable(ch chan int, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case ch <- 1:
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// oneShot is loop-free bounded work: accepted.
+func oneShot(ch chan int) {
+	go func() { ch <- 1 }()
+}

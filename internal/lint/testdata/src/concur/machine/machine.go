@@ -1,0 +1,9 @@
+// Package machine carries a deterministic-contract base name: spawning
+// any goroutine here is flagged outright — simulation packages are
+// single-goroutine until the parallel engine's annotated structure
+// lands.
+package machine
+
+func Spawn(ch chan int) {
+	go func() { ch <- 1 }() // want "deterministic package"
+}

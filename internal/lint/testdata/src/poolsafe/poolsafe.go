@@ -1,0 +1,127 @@
+// Package poolsafe exercises the pooled-record lifecycle analyzer:
+// use-after-put, double-put, unstamped escapes, and the sanctioned
+// idioms (copy-then-release-then-act, conditional release, epoch-stamped
+// retention) that must pass without directives.
+package poolsafe
+
+// rec is a plain pooled record with no epoch stamp.
+//
+//gs:pooled
+type rec struct {
+	val  int
+	next *rec
+}
+
+// stamped is a pooled record carrying an epoch, so consumers revalidate
+// stale pointers and retention is sanctioned.
+//
+//gs:pooled
+type stamped struct {
+	epoch uint64
+	val   int
+}
+
+type pool struct {
+	free    []*rec
+	queue   []*rec
+	pending map[int]*rec
+	held    *rec
+	window  []*stamped
+}
+
+func (p *pool) get() *rec {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free = p.free[:n-1]
+		return r
+	}
+	return &rec{}
+}
+
+// put releases r; the analyzer recognizes it as a releaser because it
+// appends a pooled parameter onto a free list.
+func (p *pool) put(r *rec) {
+	r.next = nil
+	p.free = append(p.free, r)
+}
+
+func sink(int) {}
+
+// useAfterPut touches a record after it went back to the pool.
+func useAfterPut(p *pool) {
+	r := p.get()
+	p.put(r)
+	sink(r.val) // want "use of pooled"
+}
+
+// doublePut releases the same record twice.
+func doublePut(p *pool) {
+	r := p.get()
+	p.put(r)
+	p.put(r) // want "double put"
+}
+
+// inlinePut releases through a direct free-list append; the copied
+// local stays usable, the record does not.
+func inlinePut(p *pool, r *rec) {
+	v := r.val
+	p.free = append(p.free, r)
+	sink(v)
+	sink(r.val) // want "use of pooled"
+}
+
+// escapeAppend stores an unstamped pooled pointer into a long-lived
+// slice that is not a free list.
+func escapeAppend(p *pool, r *rec) {
+	p.queue = append(p.queue, r) // want "not a free list"
+}
+
+// escapeField parks an unstamped pooled pointer in a struct field.
+func escapeField(p *pool, r *rec) {
+	p.held = r // want "outlives its pool epoch"
+}
+
+// escapeMap stores an unstamped pooled pointer into a map.
+func escapeMap(p *pool, r *rec) {
+	p.pending[r.val] = r // want "outlives its pool epoch"
+}
+
+// stampedRetention is the sanctioned way to retain a pooled record: the
+// type carries an epoch the consumer revalidates, so no diagnostic.
+func stampedRetention(p *pool, s *stamped) {
+	p.window = append(p.window, s)
+}
+
+// branchPut is the accepted conditional-release idiom: a release inside
+// a branch does not poison the statements after the branch.
+func branchPut(p *pool, r *rec, done bool) {
+	if done {
+		p.put(r)
+		return
+	}
+	sink(r.val)
+}
+
+// dispatchIdiom is the sanctioned copy-then-release-then-act shape the
+// hot-path dispatchers use.
+func dispatchIdiom(p *pool, r *rec) {
+	v := r.val
+	p.put(r)
+	sink(v)
+}
+
+// reacquire reuses the variable for a fresh record after releasing the
+// old one: the reassignment clears the taint.
+func reacquire(p *pool, r *rec) {
+	p.put(r)
+	r = p.get()
+	sink(r.val)
+	p.put(r)
+}
+
+// waived demonstrates an audited suppression.
+func waived(p *pool, r *rec) {
+	p.put(r)
+	//lint:pool-ok fixture: audited use-after-put demonstration
+	sink(r.val)
+}

@@ -171,6 +171,8 @@ const (
 // slot, stage 1 waits out the return link crossing. innerDone is bound
 // once at record creation, so reuse schedules through pre-bound callbacks
 // only.
+//
+//gs:pooled
 type ioXfer struct {
 	p         *ioPort
 	addr      int64

@@ -101,6 +101,8 @@ type Controller struct {
 // completion instant. Pooled, with its own embedded timer, so the
 // steady-state access path neither allocates nor touches the engine's
 // node pool.
+//
+//gs:pooled
 type completion struct {
 	c      *Controller
 	t      sim.Timer

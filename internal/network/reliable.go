@@ -94,7 +94,12 @@ type relState struct {
 }
 
 // relXmit is a pooled packet-hop in flight on a lossy wire: what the far
-// router will observe after the wire delay.
+// router will observe after the wire delay. The epoch stamp is what
+// sanctions retaining one across an event boundary (poolsafe's escape
+// rule): consumers compare it against the link's current epoch and
+// discard stale records after a FailLink reset.
+//
+//gs:pooled
 type relXmit struct {
 	l       *link
 	t       sim.Timer
@@ -104,7 +109,10 @@ type relXmit struct {
 	corrupt bool
 }
 
-// relAck is a pooled cumulative ack/nack in flight on the sideband.
+// relAck is a pooled cumulative ack/nack in flight on the sideband,
+// epoch-stamped like relXmit.
+//
+//gs:pooled
 type relAck struct {
 	l     *link
 	t     sim.Timer

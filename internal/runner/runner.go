@@ -68,16 +68,24 @@ type Result struct {
 }
 
 // expState tracks one in-flight experiment. Fields past units are guarded
-// by Run's mutex.
+// by Run's mutex (gslint concur checks the annotations).
 type expState struct {
-	spec      experiments.Spec
-	units     []experiments.Unit
-	parts     []experiments.Part
+	spec  experiments.Spec
+	units []experiments.Unit
+	//gs:guardedby mu
+	parts []experiments.Part
+	//gs:guardedby mu
 	remaining int
-	started   bool
-	start     time.Time
-	work      time.Duration
-	err       error // first unit panic; the experiment's table is abandoned
+	//gs:guardedby mu
+	started bool
+	//gs:guardedby mu
+	start time.Time
+	//gs:guardedby mu
+	work time.Duration
+	// err records the first unit panic; the experiment's table is
+	// abandoned.
+	//gs:guardedby mu
+	err error
 }
 
 // runUnit executes one unit with panic containment: a panicking unit is

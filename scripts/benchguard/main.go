@@ -1,13 +1,16 @@
 // Command benchguard compares two benchmark-trajectory JSON files (the
 // shape scripts/benchjson emits) and fails when the new point regresses:
-// ns/op worse than -max-regress on any common benchmark, allocs/op
-// rising above a zero baseline, or bytes/op rising above a zero
-// baseline (the amortized backing-array churn that rounds to 0
-// allocs/op but still costs bandwidth — exactly what the tightened
-// zero-alloc guards watch for). CI's bench-smoke job runs it against
-// the checked-in previous-PR file, so a scheduling or pooling
-// regression fails the build instead of silently eroding the speed
-// history the BENCH_pr<N>.json files track.
+// ns/op worse than -max-regress on any common benchmark, or memory
+// behaviour worse than the baseline — allocs/op or bytes/op appearing on
+// a zero baseline, or growing past -max-alloc-regress on a nonzero one.
+// Allocation counts are deterministic and hardware-independent, so their
+// budget is tighter than the timing budget and needs no normalization;
+// they are the amortized backing-array churn that rounds to 0 allocs/op
+// but still costs bandwidth — exactly what the tightened zero-alloc
+// guards watch for. CI's bench-smoke job runs benchguard against the
+// checked-in previous-PR file, so a scheduling or pooling regression
+// fails the build instead of silently eroding the speed history the
+// BENCH_pr<N>.json files track.
 //
 // The baseline file is typically measured on different hardware than
 // the CI runner, which scales every benchmark's ns/op by roughly the
@@ -43,6 +46,20 @@ type trajectory struct {
 	SuiteSeconds float64          `json:"experiments_suite_seconds"`
 }
 
+// limits are the comparison budgets.
+type limits struct {
+	// MaxRegress is the allowed fractional ns/op regression per
+	// benchmark, after normalization.
+	MaxRegress float64
+	// MaxAllocRegress is the allowed fractional growth of a nonzero
+	// allocs/op or bytes/op baseline. Allocation counts do not depend on
+	// machine speed, so this is deliberately tighter than MaxRegress.
+	MaxAllocRegress float64
+	// Normalize divides ns/op ratios by their median to cancel
+	// machine-speed differences.
+	Normalize bool
+}
+
 func load(path string) trajectory {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -55,18 +72,10 @@ func load(path string) trajectory {
 	return t
 }
 
-func main() {
-	basePath := flag.String("base", "", "baseline trajectory JSON (e.g. the previous PR's)")
-	newPath := flag.String("new", "", "freshly measured trajectory JSON")
-	maxRegress := flag.Float64("max-regress", 0.20, "allowed fractional ns/op regression per benchmark (after normalization)")
-	normalize := flag.Bool("normalize", true, "divide per-benchmark ratios by the median ratio to cancel machine-speed differences")
-	flag.Parse()
-	if *basePath == "" || *newPath == "" {
-		flag.Usage()
-		os.Exit(2)
-	}
-
-	base, cur := load(*basePath), load(*newPath)
+// compare evaluates cur against base under lim and returns the report
+// lines plus whether any benchmark failed. Split from main so the gate
+// logic is unit-tested; main only parses flags, loads files and prints.
+func compare(base, cur trajectory, lim limits) (lines []string, failed bool) {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		if _, ok := cur.Benchmarks[name]; ok {
@@ -75,7 +84,7 @@ func main() {
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		fatal(fmt.Errorf("no common benchmarks between %s and %s", *basePath, *newPath))
+		return []string{"benchguard: no common benchmarks"}, true
 	}
 
 	ratios := make(map[string]float64, len(names))
@@ -88,7 +97,7 @@ func main() {
 		}
 	}
 	scale := 1.0
-	if *normalize {
+	if lim.Normalize {
 		sorted := make([]float64, 0, len(names))
 		for _, name := range names {
 			sorted = append(sorted, ratios[name])
@@ -98,31 +107,62 @@ func main() {
 		if scale <= 0 {
 			scale = 1
 		}
-		fmt.Printf("benchguard: normalizing by median ns/op ratio %.3f (cross-machine scale)\n", scale)
+		lines = append(lines, fmt.Sprintf("benchguard: normalizing by median ns/op ratio %.3f (cross-machine scale)", scale))
 	}
 
-	failed := false
 	for _, name := range names {
 		b, n := base.Benchmarks[name], cur.Benchmarks[name]
 		regress := ratios[name]/scale - 1
 		status := "ok"
-		if regress > *maxRegress {
-			status = fmt.Sprintf("FAIL (+%.0f%% vs peers > %.0f%% budget)", regress*100, *maxRegress*100)
+		if regress > lim.MaxRegress {
+			status = fmt.Sprintf("FAIL (+%.0f%% vs peers > %.0f%% budget)", regress*100, lim.MaxRegress*100)
 			failed = true
 		}
-		if b.AllocsOp == 0 && n.AllocsOp > 0 {
+		switch {
+		case b.AllocsOp == 0 && n.AllocsOp > 0:
 			status = fmt.Sprintf("FAIL (%.2f allocs/op on a zero-alloc guarded path)", n.AllocsOp)
 			failed = true
-		}
-		if b.BytesPerOp == 0 && n.BytesPerOp > 1 {
-			status = fmt.Sprintf("FAIL (%.0f bytes/op on a zero-byte guarded path)", n.BytesPerOp)
+		case b.AllocsOp > 0 && n.AllocsOp > b.AllocsOp*(1+lim.MaxAllocRegress):
+			status = fmt.Sprintf("FAIL (allocs/op %.2f -> %.2f > %.0f%% budget)", b.AllocsOp, n.AllocsOp, lim.MaxAllocRegress*100)
 			failed = true
 		}
-		fmt.Printf("benchguard: %-32s %8.1f -> %8.1f ns/op (%+.0f%% vs peers)  %s\n",
-			name, b.NsPerOp, n.NsPerOp, regress*100, status)
+		switch {
+		case b.BytesPerOp == 0 && n.BytesPerOp > 1:
+			status = fmt.Sprintf("FAIL (%.0f bytes/op on a zero-byte guarded path)", n.BytesPerOp)
+			failed = true
+		case b.BytesPerOp > 1 && n.BytesPerOp > b.BytesPerOp*(1+lim.MaxAllocRegress):
+			status = fmt.Sprintf("FAIL (bytes/op %.0f -> %.0f > %.0f%% budget)", b.BytesPerOp, n.BytesPerOp, lim.MaxAllocRegress*100)
+			failed = true
+		}
+		lines = append(lines, fmt.Sprintf("benchguard: %-32s %8.1f -> %8.1f ns/op (%+.0f%% vs peers)  %s",
+			name, b.NsPerOp, n.NsPerOp, regress*100, status))
 	}
 	if base.SuiteSeconds > 0 && cur.SuiteSeconds > 0 {
-		fmt.Printf("benchguard: experiments suite %.1fs -> %.1fs\n", base.SuiteSeconds, cur.SuiteSeconds)
+		lines = append(lines, fmt.Sprintf("benchguard: experiments suite %.1fs -> %.1fs", base.SuiteSeconds, cur.SuiteSeconds))
+	}
+	return lines, failed
+}
+
+func main() {
+	basePath := flag.String("base", "", "baseline trajectory JSON (e.g. the previous PR's)")
+	newPath := flag.String("new", "", "freshly measured trajectory JSON")
+	maxRegress := flag.Float64("max-regress", 0.20, "allowed fractional ns/op regression per benchmark (after normalization)")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 0.10, "allowed fractional allocs/op or bytes/op growth over a nonzero baseline")
+	normalize := flag.Bool("normalize", true, "divide per-benchmark ratios by the median ratio to cancel machine-speed differences")
+	flag.Parse()
+	if *basePath == "" || *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, cur := load(*basePath), load(*newPath)
+	lines, failed := compare(base, cur, limits{
+		MaxRegress:      *maxRegress,
+		MaxAllocRegress: *maxAllocRegress,
+		Normalize:       *normalize,
+	})
+	for _, l := range lines {
+		fmt.Println(l)
 	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "benchguard: regression against", *basePath)
